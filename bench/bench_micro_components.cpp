@@ -1,0 +1,124 @@
+// google-benchmark micro benchmarks for the simulator's hot components:
+// cache access paths under each policy, VTA/PDPT operations, pattern
+// address generation, and whole-GPU simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/l1d_cache.h"
+#include "core/pdpt.h"
+#include "core/vta.h"
+#include "gpu/simulator.h"
+#include "sim/rng.h"
+#include "workloads/registry.h"
+
+namespace dlpsim {
+namespace {
+
+L1DConfig BaseL1D(PolicyKind policy) {
+  L1DConfig cfg = SimConfig::Baseline16KB().l1d;
+  cfg.policy = policy;
+  cfg.miss_queue_entries = 1u << 20;  // unbounded for throughput measurement
+  cfg.mshr_entries = 1u << 20;
+  return cfg;
+}
+
+void DrainFills(L1DCache& cache, std::vector<MshrToken>& woken) {
+  woken.clear();
+  while (cache.HasOutgoing()) {
+    const L1DOutgoing out = cache.PopOutgoing();
+    if (!out.write) {
+      cache.Fill(L1DResponse{out.block, out.no_fill, out.token}, 0, woken);
+    }
+  }
+}
+
+void BM_CacheAccess(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  L1DCache cache(BaseL1D(policy));
+  Rng rng(42);
+  std::vector<MshrToken> woken;
+  Cycle now = 0;
+  for (auto _ : state) {
+    // Mixed stream: 75% within a 64-line hot set, 25% streaming.
+    const bool hot = rng.Below(4) != 0;
+    const Addr addr =
+        hot ? rng.Below(64) * 128 : (1000000 + now) * 128;
+    const AccessResult r = cache.Access(
+        MemAccess{addr, AccessType::kLoad, static_cast<Pc>(addr % 7), 1},
+        now);
+    benchmark::DoNotOptimize(r);
+    if ((++now & 0xff) == 0) DrainFills(cache, woken);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(PolicyKind::kBaseline))
+    ->Arg(static_cast<int>(PolicyKind::kStallBypass))
+    ->Arg(static_cast<int>(PolicyKind::kGlobalProtection))
+    ->Arg(static_cast<int>(PolicyKind::kDlp));
+
+void BM_VtaProbe(benchmark::State& state) {
+  VictimTagArray vta(32, 4);
+  Rng rng(7);
+  for (int i = 0; i < 128; ++i) {
+    vta.Insert(static_cast<std::uint32_t>(rng.Below(32)), rng.Below(4096),
+               static_cast<std::uint32_t>(rng.Below(128)));
+  }
+  for (auto _ : state) {
+    const auto hit = vta.ProbeAndConsume(
+        static_cast<std::uint32_t>(rng.Below(32)), rng.Below(4096));
+    benchmark::DoNotOptimize(hit);
+    vta.Insert(static_cast<std::uint32_t>(rng.Below(32)), rng.Below(4096),
+               0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VtaProbe);
+
+void BM_PdptSample(benchmark::State& state) {
+  PdpTable pdpt(ProtectionConfig{}, 4);
+  Rng rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < 200; ++i) {
+      const auto id = static_cast<std::uint32_t>(rng.Below(128));
+      rng.Below(2) != 0 ? pdpt.CreditTdaHit(id) : pdpt.CreditVtaHit(id);
+    }
+    benchmark::DoNotOptimize(pdpt.EndSample());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_PdptSample);
+
+void BM_PatternAddress(benchmark::State& state) {
+  const Workload wl = MakeWorkload("BFS", 0.1);
+  const AccessPattern* pattern = nullptr;
+  for (const Instruction& insn : wl.program->body()) {
+    if (insn.pattern != nullptr) pattern = insn.pattern;
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pattern->AddressFor(i % 768, i / 768, static_cast<std::uint32_t>(i % 32)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternAddress);
+
+void BM_WholeGpuKiloCycles(benchmark::State& state) {
+  const Workload wl = MakeWorkload("SRK", 1.0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimConfig cfg = SimConfig::WithPolicy(PolicyKind::kDlp);
+    GpuSimulator gpu(cfg, wl.program.get(), wl.warps_per_sm);
+    state.ResumeTiming();
+    while (!gpu.Done() && gpu.core_cycles() < 1000) gpu.Step();
+    benchmark::DoNotOptimize(gpu.core_cycles());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // core cycles
+}
+BENCHMARK(BM_WholeGpuKiloCycles)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dlpsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Prints paper Table 1 (the baseline GPU configuration) as encoded in
+// SimConfig, so the reproduction's parameters are auditable.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "harness.h"
+
+using namespace dlpsim;
+
+int main() {
+  const SimConfig cfg = SimConfig::Baseline16KB();
+  std::cout << "=== Table 1: baseline GPU configuration (Tesla M2090 / "
+               "Fermi) ===\n\n";
+  TextTable t({"parameter", "value"});
+  t.AddRow({"Number of Cores", std::to_string(cfg.num_cores)});
+  t.AddRow({"Warp Size", std::to_string(cfg.core.warp_size)});
+  t.AddRow({"Max # of warps per core", std::to_string(cfg.core.max_warps)});
+  t.AddRow({"Warp schedulers per core",
+            std::to_string(cfg.core.num_schedulers) + ", GTO policy"});
+  t.AddRow({"L1D cache",
+            std::to_string(cfg.l1d.geom.size_bytes() / 1024) + "KB, " +
+                std::to_string(cfg.l1d.geom.sets) + " sets, " +
+                std::to_string(cfg.l1d.geom.ways) + "-way, Hash index"});
+  t.AddRow({"L1D MSHR entries", std::to_string(cfg.l1d.mshr_entries)});
+  t.AddRow({"Core/ICNT/Memory Clock",
+            Fmt(cfg.core_mhz, 0) + "/" + Fmt(cfg.icnt_mhz, 0) + "/" +
+                Fmt(cfg.mem_mhz, 0) + " MHz"});
+  t.AddRow({"# of memory partitions", std::to_string(cfg.num_partitions)});
+  t.AddRow({"L2 cache",
+            std::to_string(cfg.l2.geom.size_bytes() * cfg.num_partitions /
+                           1024) +
+                "KB total, " + std::to_string(cfg.l2.geom.sets) + " sets, " +
+                std::to_string(cfg.l2.geom.ways) + "-way, Linear index"});
+  t.AddRow({"DRAM banks / partition", std::to_string(cfg.dram.banks)});
+  const double bw = cfg.dram.bus_bytes_per_cycle * cfg.mem_mhz * 1e6 *
+                    cfg.num_partitions / 1e9;
+  t.AddRow({"Memory bandwidth", Fmt(bw, 1) + " GB/s (paper: 177.4 GB/s)"});
+  std::cout << t.Render();
+  return 0;
+}

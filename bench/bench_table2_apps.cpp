@@ -1,0 +1,27 @@
+// Prints paper Table 2 (the benchmark applications) with each synthetic
+// kernel's static properties for auditing the workload substitution.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "harness.h"
+#include "workloads/registry.h"
+
+using namespace dlpsim;
+
+int main() {
+  std::cout << "=== Table 2: benchmark applications ===\n\n";
+  TextTable t({"abbr", "name", "suite", "type", "input", "mem PCs",
+               "static ratio", "warps/SM"});
+  for (const AppInfo& app : AllApps()) {
+    const Workload wl = MakeWorkload(app.abbr);
+    t.AddRow({app.abbr, app.name, app.suite,
+              app.cache_insufficient ? "CI" : "CS", app.input,
+              std::to_string(wl.program->NumMemoryPcs()),
+              Pct(wl.program->MemoryAccessRatio(), 2),
+              std::to_string(wl.warps_per_sm)});
+  }
+  std::cout << t.Render() << '\n';
+  std::cout << "All kernels keep their load-instruction count far below the "
+               "PDPT's 128-entry capacity (paper SS4.1.3).\n";
+  return 0;
+}

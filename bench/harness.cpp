@@ -1,0 +1,162 @@
+#include "harness.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/per_sm_profiler.h"
+#include "gpu/simulator.h"
+#include "workloads/registry.h"
+
+namespace dlpsim::bench {
+
+namespace {
+// Bump when the simulator or the workload calibration changes; stale cache
+// entries are keyed away automatically.
+constexpr const char* kCacheVersion = "v1";
+
+std::string CacheDir() {
+  if (const char* env = std::getenv("DLPSIM_CACHE_DIR")) return env;
+  return ".dlpsim_cache";
+}
+
+bool CacheEnabled() { return std::getenv("DLPSIM_NOCACHE") == nullptr; }
+}  // namespace
+
+double Scale() {
+  if (const char* env = std::getenv("DLPSIM_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+const std::vector<std::string>& ConfigNames() {
+  static const std::vector<std::string> kNames = {"base", "sb",   "gp",
+                                                  "dlp",  "32kb", "64kb"};
+  return kNames;
+}
+
+SimConfig ConfigFor(const std::string& name) {
+  if (name == "base") return SimConfig::Baseline16KB();
+  if (name == "sb") return SimConfig::WithPolicy(PolicyKind::kStallBypass);
+  if (name == "gp") {
+    return SimConfig::WithPolicy(PolicyKind::kGlobalProtection);
+  }
+  if (name == "dlp") return SimConfig::WithPolicy(PolicyKind::kDlp);
+  if (name == "32kb") return SimConfig::Cache32KB();
+  if (name == "64kb") return SimConfig::Cache64KB();
+  throw std::out_of_range("unknown config: " + name);
+}
+
+std::string ProfileResult::ToText() const {
+  std::ostringstream os;
+  os << "global " << global.buckets[0] << ' ' << global.buckets[1] << ' '
+     << global.buckets[2] << ' ' << global.buckets[3] << '\n';
+  os << "reuse_accesses " << reuse_accesses << '\n';
+  os << "reuse_misses " << reuse_misses << '\n';
+  os << "compulsory " << compulsory << '\n';
+  for (const auto& [pc, hist] : per_pc) {
+    os << "pc " << pc << ' ' << hist.buckets[0] << ' ' << hist.buckets[1]
+       << ' ' << hist.buckets[2] << ' ' << hist.buckets[3] << '\n';
+  }
+  return os.str();
+}
+
+ProfileResult ProfileResult::FromText(const std::string& text, bool* ok) {
+  ProfileResult r;
+  bool saw_global = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "global") {
+      ls >> r.global.buckets[0] >> r.global.buckets[1] >>
+          r.global.buckets[2] >> r.global.buckets[3];
+      saw_global = true;
+    } else if (key == "reuse_accesses") {
+      ls >> r.reuse_accesses;
+    } else if (key == "reuse_misses") {
+      ls >> r.reuse_misses;
+    } else if (key == "compulsory") {
+      ls >> r.compulsory;
+    } else if (key == "pc") {
+      Pc pc = 0;
+      RddHistogram h;
+      ls >> pc >> h.buckets[0] >> h.buckets[1] >> h.buckets[2] >>
+          h.buckets[3];
+      r.per_pc[pc] = h;
+    }
+  }
+  if (ok != nullptr) *ok = saw_global;
+  return r;
+}
+
+namespace {
+
+std::string KeyFor(const std::string& abbr, const std::string& config) {
+  std::ostringstream os;
+  os << kCacheVersion << '_' << abbr << '_' << config << "_s" << Scale();
+  return os.str();
+}
+
+RunResult Simulate(const std::string& abbr, const std::string& config) {
+  const SimConfig cfg = ConfigFor(config);
+  Workload wl = MakeWorkload(abbr, Scale());
+
+  GpuSimulator gpu(cfg, wl.program.get(), wl.warps_per_sm);
+  PerSmProfiler profiler(cfg.num_cores, cfg.l1d.geom.sets);
+  profiler.AttachTo(gpu);
+
+  RunResult result;
+  result.metrics = gpu.Run();
+  result.profile.global = profiler.GlobalRdd();
+  result.profile.per_pc = profiler.PerPcRdd();
+  result.profile.reuse_accesses = profiler.reuse_accesses();
+  result.profile.reuse_misses = profiler.reuse_misses();
+  result.profile.compulsory = profiler.compulsory_accesses();
+  return result;
+}
+
+}  // namespace
+
+RunResult Run(const std::string& abbr, const std::string& config) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(CacheDir()) / (KeyFor(abbr, config) + ".txt");
+
+  if (CacheEnabled() && fs::exists(path)) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const auto sep = text.find("---\n");
+    if (sep != std::string::npos) {
+      bool ok_m = false;
+      bool ok_p = false;
+      RunResult r;
+      r.metrics = Metrics::FromText(text.substr(0, sep), &ok_m);
+      r.profile = ProfileResult::FromText(text.substr(sep + 4), &ok_p);
+      if (ok_m && ok_p) return r;
+    }
+  }
+
+  RunResult r = Simulate(abbr, config);
+
+  if (CacheEnabled()) {
+    std::error_code ec;
+    fs::create_directories(CacheDir(), ec);
+    std::ofstream out(path);
+    out << r.metrics.ToText() << "---\n" << r.profile.ToText();
+  }
+  return r;
+}
+
+double Normalize(double value, double base) {
+  return base == 0.0 ? 0.0 : value / base;
+}
+
+}  // namespace dlpsim::bench

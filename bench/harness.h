@@ -1,0 +1,67 @@
+// Shared run harness for the figure-reproduction benches.
+//
+// Every bench needs the same (app x configuration) simulation grid, so
+// runs are memoized in an on-disk cache keyed by app, configuration name,
+// scale and a harness version stamp. Each run also records reuse-distance
+// and reuse-miss profiles so the motivation figures (3/4/7) come from the
+// same simulations as the evaluation figures (10-13).
+//
+// Environment knobs:
+//   DLPSIM_SCALE      - iteration scale factor (default 1.0)
+//   DLPSIM_CACHE_DIR  - cache directory (default ./.dlpsim_cache)
+//   DLPSIM_NOCACHE    - set to disable the cache entirely
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/rd_profiler.h"
+#include "gpu/metrics.h"
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace dlpsim::bench {
+
+/// Named simulator configurations used across the paper's figures.
+///   base  - Table 1 baseline (16KB, LRU)
+///   sb    - Stall-Bypass          gp   - Global-Protection
+///   dlp   - DLP                   32kb - 8-way LRU
+///   64kb  - 16-way LRU
+const std::vector<std::string>& ConfigNames();
+SimConfig ConfigFor(const std::string& name);
+
+struct ProfileResult {
+  RddHistogram global;
+  std::map<Pc, RddHistogram> per_pc;
+  std::uint64_t reuse_accesses = 0;
+  std::uint64_t reuse_misses = 0;
+  std::uint64_t compulsory = 0;
+
+  double reuse_miss_rate() const {
+    return reuse_accesses == 0
+               ? 0.0
+               : static_cast<double>(reuse_misses) / reuse_accesses;
+  }
+
+  std::string ToText() const;
+  static ProfileResult FromText(const std::string& text, bool* ok = nullptr);
+};
+
+struct RunResult {
+  Metrics metrics;
+  ProfileResult profile;
+};
+
+/// Runs (or loads from cache) app `abbr` under configuration `config`.
+RunResult Run(const std::string& abbr, const std::string& config);
+
+/// Iteration scale from DLPSIM_SCALE (default 1.0).
+double Scale();
+
+/// Normalizes `value` to the same app's metric under `base` (helper for
+/// "normalized to baseline" figure rows); returns 0 when base is 0.
+double Normalize(double value, double base);
+
+}  // namespace dlpsim::bench

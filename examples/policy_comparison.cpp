@@ -1,0 +1,65 @@
+// Policy comparison: run one benchmark under every L1D management scheme
+// (plus the larger cache configurations) and print a side-by-side metric
+// breakdown -- the single-app version of the paper's Figs. 10-13.
+//
+//   ./policy_comparison [APP] [SCALE]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "gpu/simulator.h"
+#include "sim/config.h"
+#include "workloads/registry.h"
+
+using namespace dlpsim;
+
+namespace {
+
+struct NamedConfig {
+  const char* name;
+  SimConfig cfg;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "KM";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  const std::vector<NamedConfig> configs = {
+      {"16KB(base)", SimConfig::Baseline16KB()},
+      {"Stall-Bypass", SimConfig::WithPolicy(PolicyKind::kStallBypass)},
+      {"Global-Prot", SimConfig::WithPolicy(PolicyKind::kGlobalProtection)},
+      {"DLP", SimConfig::WithPolicy(PolicyKind::kDlp)},
+      {"32KB", SimConfig::Cache32KB()},
+      {"64KB", SimConfig::Cache64KB()},
+  };
+
+  const Workload wl = MakeWorkload(app, scale);
+  std::cout << "== " << wl.info.abbr << " (" << wl.info.name << ", "
+            << (wl.info.cache_insufficient ? "CI" : "CS") << ", "
+            << wl.warps_per_sm << " warps/SM, ratio "
+            << Pct(wl.program->MemoryAccessRatio(), 1) << ") ==\n\n";
+
+  TextTable t({"config", "IPC", "cycles", "hitrate", "hits", "traffic",
+               "bypass", "evict", "stallcyc", "ldlat", "icnt MB", "dram rd",
+               "done"});
+  for (const NamedConfig& nc : configs) {
+    GpuSimulator gpu(nc.cfg, wl.program.get(), wl.warps_per_sm);
+    const Metrics m = gpu.Run();
+    t.AddRow({nc.name, Fmt(m.ipc(), 1), std::to_string(m.core_cycles),
+              Pct(m.l1d_hit_rate()), std::to_string(m.l1d_load_hits),
+              std::to_string(m.l1d_traffic()),
+              std::to_string(m.l1d_bypasses),
+              std::to_string(m.l1d_evictions),
+              std::to_string(m.ldst_stall_cycles),
+              Fmt(m.avg_load_latency(), 0),
+              Fmt(static_cast<double>(m.icnt_bytes_total) / 1e6, 1),
+              std::to_string(m.dram_reads),
+              m.completed != 0 ? "y" : "TIMEOUT"});
+  }
+  std::cout << t.Render();
+  return 0;
+}

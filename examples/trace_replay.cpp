@@ -1,0 +1,79 @@
+// Trace replay example: compare the four L1D management schemes on an
+// access trace, either read from a file or generated in-process.
+//
+//   ./trace_replay [trace-file]
+//
+// Trace format: one access per line, "L <addr> <pc>" or "S <addr> <pc>"
+// ('#' comments allowed; addresses hex or decimal). Without a file, a
+// built-in demonstration trace is used: a thrashing scan interleaved
+// with a hot reuse set -- the access pattern DLP was designed for.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/trace_replay.h"
+#include "sim/config.h"
+#include "sim/rng.h"
+
+using namespace dlpsim;
+
+namespace {
+
+std::vector<TraceAccess> DemoTrace() {
+  std::vector<TraceAccess> trace;
+  Rng rng(2026);
+  // 40k accesses: per "iteration", one hot line from a small set (PC 1),
+  // one line from a medium working set (PC 2, the protectable band), and
+  // two streaming lines (PCs 3 and 4).
+  Addr stream_next = 1u << 24;
+  for (int i = 0; i < 10000; ++i) {
+    trace.push_back({(rng.Below(64)) * 128, 1, AccessType::kLoad});
+    trace.push_back({(1u << 20) + (i % 256) * 128, 2, AccessType::kLoad});
+    trace.push_back({stream_next, 3, AccessType::kLoad});
+    stream_next += 128;
+    trace.push_back({stream_next, 4, AccessType::kStore});
+    stream_next += 128;
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<TraceAccess> trace;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << '\n';
+      return 1;
+    }
+    std::string err;
+    trace = ParseTrace(in, &err);
+    if (!err.empty()) std::cerr << "trace warnings:\n" << err;
+  } else {
+    trace = DemoTrace();
+    std::cout << "(no trace file given; using the built-in demo trace)\n";
+  }
+  std::cout << trace.size() << " accesses\n\n";
+
+  TextTable t({"policy", "hit rate", "hits", "bypasses", "evictions",
+               "stall cycles", "cycles"});
+  for (PolicyKind policy :
+       {PolicyKind::kBaseline, PolicyKind::kStallBypass,
+        PolicyKind::kGlobalProtection, PolicyKind::kDlp}) {
+    L1DConfig cfg = SimConfig::Baseline16KB().l1d;
+    cfg.policy = policy;
+    TraceReplayer replayer(cfg, /*fill_latency=*/200);
+    const ReplayResult r = replayer.Replay(trace);
+    t.AddRow({ToString(policy), Pct(r.hit_rate()),
+              std::to_string(r.cache.load_hits),
+              std::to_string(r.cache.bypasses),
+              std::to_string(r.cache.evictions),
+              std::to_string(r.stall_cycles), std::to_string(r.cycles)});
+  }
+  std::cout << t.Render();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Per-SM profiling bundle.
+//
+// Reuse distances are defined within one cache's access stream (one SM's
+// L1D); merging the 16 SMs into a single profiler would interleave their
+// per-set counters and inflate every distance ~16x. This helper owns one
+// RdProfiler + ReuseMissTracker per core, attaches them, and merges the
+// resulting histograms/counters for reporting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/rd_profiler.h"
+#include "analysis/reuse_miss.h"
+#include "gpu/simulator.h"
+#include "sim/types.h"
+
+namespace dlpsim {
+
+class PerSmProfiler {
+ public:
+  PerSmProfiler(std::uint32_t num_sms, std::uint32_t sets);
+
+  /// Attaches one observer pair to every core's L1D. The profiler must
+  /// outlive the simulator's run.
+  void AttachTo(GpuSimulator& gpu);
+
+  // --- merged views ---
+  RddHistogram GlobalRdd() const;
+  std::map<Pc, RddHistogram> PerPcRdd() const;
+  std::uint64_t accesses() const;
+  std::uint64_t reuse_accesses() const;
+  std::uint64_t reuse_misses() const;
+  std::uint64_t compulsory_accesses() const;
+  double reuse_miss_rate() const {
+    const std::uint64_t ra = reuse_accesses();
+    return ra == 0 ? 0.0 : static_cast<double>(reuse_misses()) / ra;
+  }
+
+  /// Direct access for tests.
+  const RdProfiler& rd(std::uint32_t sm) const { return *rd_[sm]; }
+  const ReuseMissTracker& reuse(std::uint32_t sm) const { return *reuse_[sm]; }
+
+ private:
+  std::vector<std::unique_ptr<RdProfiler>> rd_;
+  std::vector<std::unique_ptr<ReuseMissTracker>> reuse_;
+  std::vector<std::unique_ptr<CompositeObserver>> composite_;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,36 @@
+#include "analysis/rd_profiler.h"
+
+namespace dlpsim {
+
+std::uint32_t RdBucket(std::uint64_t rd) {
+  if (rd <= 4) return 0;
+  if (rd <= 8) return 1;
+  if (rd <= 64) return 2;
+  return 3;
+}
+
+void RdProfiler::OnAccess(std::uint32_t set, Addr block, Pc pc,
+                          AccessType /*type*/, bool /*hit*/) {
+  ++accesses_;
+  SetTrace& trace = per_set_[set];
+  ++trace.counter;
+  auto [it, first_touch] = trace.last_access.try_emplace(block, trace.counter);
+  if (!first_touch) {
+    const std::uint64_t rd = trace.counter - it->second;
+    global_.Add(rd);
+    per_pc_[pc].Add(rd);
+    it->second = trace.counter;
+  }
+}
+
+void RdProfiler::Reset() {
+  for (SetTrace& t : per_set_) {
+    t.counter = 0;
+    t.last_access.clear();
+  }
+  global_ = RddHistogram{};
+  per_pc_.clear();
+  accesses_ = 0;
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,80 @@
+// Reuse-distance profiler (paper §3.1, Figs. 2/3/7).
+//
+// The paper defines the RD of an access as the number of memory accesses
+// to the same cache set since the previous access to the same line
+// (Fig. 2: sequence Addr0, Addr1, Addr2, Addr0 gives Addr0 an RD of 3,
+// i.e. the per-set access-counter delta). RDs therefore depend only on
+// the access stream and the set mapping -- not on associativity or the
+// management policy -- which is why one profiling run serves every cache
+// size (paper §3.1).
+//
+// Distances are bucketed like Fig. 3: 1-4, 5-8, 9-64, >= 65.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/observer.h"
+#include "sim/types.h"
+
+namespace dlpsim {
+
+inline constexpr std::array<const char*, 4> kRdBucketNames = {
+    "rd 1~4", "rd 5~8", "rd 9~64", "rd >65"};
+
+/// Bucket index for a reuse distance (Fig. 3's ranges).
+std::uint32_t RdBucket(std::uint64_t rd);
+
+struct RddHistogram {
+  std::array<std::uint64_t, 4> buckets{};
+  std::uint64_t total() const {
+    return buckets[0] + buckets[1] + buckets[2] + buckets[3];
+  }
+  double fraction(std::uint32_t b) const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(buckets[b]) / t;
+  }
+  void Add(std::uint64_t rd) { ++buckets[RdBucket(rd)]; }
+  void Merge(const RddHistogram& other) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+};
+
+class RdProfiler : public AccessObserver {
+ public:
+  explicit RdProfiler(std::uint32_t sets) : sets_(sets), per_set_(sets) {}
+
+  void OnAccess(std::uint32_t set, Addr block, Pc pc, AccessType type,
+                bool hit) override;
+
+  /// Global distribution over all re-references (Fig. 3).
+  const RddHistogram& global() const { return global_; }
+
+  /// Per-memory-instruction distributions (Fig. 7), keyed by PC of the
+  /// re-referencing access, ordered for stable reports.
+  const std::map<Pc, RddHistogram>& per_pc() const { return per_pc_; }
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t re_references() const { return global_.total(); }
+
+  void Reset();
+
+ private:
+  struct SetTrace {
+    std::uint64_t counter = 0;  // accesses to this set so far
+    std::unordered_map<Addr, std::uint64_t> last_access;  // block -> counter
+  };
+
+  std::uint32_t sets_;
+  std::vector<SetTrace> per_set_;
+  RddHistogram global_;
+  std::map<Pc, RddHistogram> per_pc_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,67 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dlpsim {
+
+double GeoMean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v <= 0.0) continue;
+    log_sum += std::log(v);
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = headers_.size() > 1 ? 2 * (headers_.size() - 1) : 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Fmt(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string Pct(double fraction, int decimals) {
+  return Fmt(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,35 @@
+// Plain-text table rendering + small numeric helpers shared by the
+// figure-reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlpsim {
+
+/// Geometric mean; empty input yields 0, non-positive entries are skipped
+/// (they would otherwise poison the log-domain mean).
+double GeoMean(const std::vector<double>& values);
+
+/// Fixed-width text table: set headers, add rows of strings, render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.43" style fixed formatting without <iomanip> noise at call sites.
+std::string Fmt(double v, int decimals = 3);
+/// "43.0%" percentage formatting.
+std::string Pct(double fraction, int decimals = 1);
+
+}  // namespace dlpsim

@@ -1,0 +1,24 @@
+#include "analysis/reuse_miss.h"
+
+namespace dlpsim {
+
+void ReuseMissTracker::OnAccess(std::uint32_t set, Addr block, Pc /*pc*/,
+                                AccessType /*type*/, bool hit) {
+  auto [it, first_touch] = seen_[set].insert(block);
+  (void)it;
+  if (first_touch) {
+    ++compulsory_;
+    return;
+  }
+  ++reuse_accesses_;
+  if (!hit) ++reuse_misses_;
+}
+
+void ReuseMissTracker::Reset() {
+  for (auto& s : seen_) s.clear();
+  reuse_accesses_ = 0;
+  reuse_misses_ = 0;
+  compulsory_ = 0;
+}
+
+}  // namespace dlpsim

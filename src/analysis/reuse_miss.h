@@ -1,0 +1,56 @@
+// Reuse-data miss tracking (paper Fig. 4): the miss rate over accesses to
+// previously seen lines, i.e. with compulsory misses excluded ("by
+// definition these accesses will always miss regardless of cache size").
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/observer.h"
+#include "sim/types.h"
+
+namespace dlpsim {
+
+class ReuseMissTracker : public AccessObserver {
+ public:
+  explicit ReuseMissTracker(std::uint32_t sets) : seen_(sets) {}
+
+  void OnAccess(std::uint32_t set, Addr block, Pc pc, AccessType type,
+                bool hit) override;
+
+  std::uint64_t reuse_accesses() const { return reuse_accesses_; }
+  std::uint64_t reuse_misses() const { return reuse_misses_; }
+  std::uint64_t compulsory_accesses() const { return compulsory_; }
+
+  double reuse_miss_rate() const {
+    return reuse_accesses_ == 0
+               ? 0.0
+               : static_cast<double>(reuse_misses_) / reuse_accesses_;
+  }
+
+  void Reset();
+
+ private:
+  std::vector<std::unordered_set<Addr>> seen_;  // per set
+  std::uint64_t reuse_accesses_ = 0;
+  std::uint64_t reuse_misses_ = 0;
+  std::uint64_t compulsory_ = 0;
+};
+
+/// Fans one access stream out to several observers (profiling + reuse
+/// tracking in a single run).
+class CompositeObserver : public AccessObserver {
+ public:
+  void Add(AccessObserver* observer) { observers_.push_back(observer); }
+
+  void OnAccess(std::uint32_t set, Addr block, Pc pc, AccessType type,
+                bool hit) override {
+    for (AccessObserver* o : observers_) o->OnAccess(set, block, pc, type, hit);
+  }
+
+ private:
+  std::vector<AccessObserver*> observers_;
+};
+
+}  // namespace dlpsim

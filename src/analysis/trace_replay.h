@@ -1,0 +1,82 @@
+// Cache-level trace replay: drive an L1DCache (any policy) directly from
+// a recorded or synthetic access trace, without the full GPU timing
+// model. This is the fast path for policy experiments and lets users
+// replay traces captured from real hardware or other simulators.
+//
+// Trace text format, one access per line (comments start with '#'):
+//     L <hex-or-dec address> <pc>
+//     S <hex-or-dec address> <pc>
+// e.g. "L 0x1f80 12". Addresses are bytes; pc is the load/store PC used
+// by DLP's PDPT.
+//
+// Replay semantics: accesses are issued in order, one per simulated
+// cycle. Misses are serviced with a fixed configurable latency
+// (fill_latency cycles); a reservation failure retries until resources
+// free up (stall cycles are counted), which preserves the policies'
+// stall/bypass behaviour without a memory-system model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/l1d_cache.h"
+#include "sim/types.h"
+
+namespace dlpsim {
+
+struct TraceAccess {
+  Addr addr = 0;
+  Pc pc = 0;
+  AccessType type = AccessType::kLoad;
+};
+
+/// Parses the text format above. Invalid lines are reported via the
+/// optional error output and skipped.
+std::vector<TraceAccess> ParseTrace(std::istream& in,
+                                    std::string* error = nullptr);
+
+struct ReplayResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t stall_cycles = 0;
+  CacheStats cache;  // snapshot of the cache's counters after replay
+
+  double hit_rate() const {
+    const std::uint64_t serviced = cache.loads - cache.bypasses;
+    return serviced == 0 ? 0.0
+                         : static_cast<double>(cache.load_hits) / serviced;
+  }
+};
+
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(const L1DConfig& cfg,
+                         std::uint32_t fill_latency = 200)
+      : cache_(cfg), fill_latency_(fill_latency) {}
+
+  /// Replays the whole trace; returns aggregate results. The cache keeps
+  /// its state across calls (call Reset() between independent traces).
+  ReplayResult Replay(const std::vector<TraceAccess>& trace);
+
+  void Reset() { cache_.Reset(); }
+
+  L1DCache& cache() { return cache_; }
+
+ private:
+  struct PendingFill {
+    L1DResponse response;
+    Cycle due = 0;
+  };
+
+  void Advance(Cycle now);  // deliver due fills, drain outgoing requests
+
+  L1DCache cache_;
+  std::uint32_t fill_latency_;
+  std::deque<PendingFill> fills_;
+  std::vector<MshrToken> woken_;
+};
+
+}  // namespace dlpsim

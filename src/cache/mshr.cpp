@@ -1,0 +1,28 @@
+#include "cache/mshr.h"
+
+#include <cassert>
+
+namespace dlpsim {
+
+void MshrTable::Allocate(Addr block, MshrToken token) {
+  assert(!Full());
+  auto [it, inserted] = table_.emplace(block, std::vector<MshrToken>{});
+  assert(inserted && "Allocate on an existing entry; use Merge");
+  it->second.push_back(token);
+}
+
+void MshrTable::Merge(Addr block, MshrToken token) {
+  auto it = table_.find(block);
+  assert(it != table_.end() && it->second.size() < max_merged_);
+  it->second.push_back(token);
+}
+
+std::vector<MshrToken> MshrTable::Retire(Addr block) {
+  auto it = table_.find(block);
+  if (it == table_.end()) return {};
+  std::vector<MshrToken> tokens = std::move(it->second);
+  table_.erase(it);
+  return tokens;
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,62 @@
+// Miss Status Holding Register table with request merging.
+//
+// One entry tracks one in-flight line; later misses to the same line merge
+// into the entry (up to mshr_max_merged targets) instead of generating new
+// interconnect traffic. A full table or an unmergeable entry is one of the
+// reservation-failure stall reasons in the L1D pipeline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dlpsim {
+
+/// Opaque handle the requester attaches to a miss; returned on fill so the
+/// SM can wake the right warp/lane group.
+using MshrToken = std::uint64_t;
+
+class MshrTable {
+ public:
+  MshrTable(std::uint32_t entries, std::uint32_t max_merged)
+      : capacity_(entries), max_merged_(max_merged) {}
+
+  bool Full() const { return table_.size() >= capacity_; }
+  bool HasEntry(Addr block) const { return table_.count(block) != 0; }
+
+  /// True iff `block` has an entry with room for another merged target.
+  bool CanMerge(Addr block) const {
+    auto it = table_.find(block);
+    return it != table_.end() && it->second.size() < max_merged_;
+  }
+
+  /// True iff a brand-new entry can be allocated.
+  bool CanAllocate() const { return !Full(); }
+
+  /// Allocates a new entry for `block`. Pre: !HasEntry(block), !Full().
+  void Allocate(Addr block, MshrToken token);
+
+  /// Merges into the existing entry. Pre: CanMerge(block).
+  void Merge(Addr block, MshrToken token);
+
+  /// Retires the entry on fill, returning all merged tokens.
+  std::vector<MshrToken> Retire(Addr block);
+
+  std::size_t size() const { return table_.size(); }
+  std::uint32_t capacity() const { return capacity_; }
+
+  /// Number of targets currently merged for `block` (0 if absent).
+  std::size_t TargetCount(Addr block) const {
+    auto it = table_.find(block);
+    return it == table_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t max_merged_;
+  std::unordered_map<Addr, std::vector<MshrToken>> table_;
+};
+
+}  // namespace dlpsim

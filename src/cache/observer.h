@@ -1,0 +1,20 @@
+// Observation hook for analysis passes (reuse-distance profiling,
+// reuse-miss tracking). Observers see the raw access stream *before* any
+// policy decision, so their measurements are policy independent.
+#pragma once
+
+#include "sim/types.h"
+
+namespace dlpsim {
+
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// Called once per L1D access with the pre-policy lookup outcome.
+  /// `hit` is true when the block was present (VALID/MODIFIED) in the TDA.
+  virtual void OnAccess(std::uint32_t set, Addr block, Pc pc,
+                        AccessType type, bool hit) = 0;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,252 @@
+#include "core/l1d_cache.h"
+
+#include <cassert>
+
+namespace dlpsim {
+
+const char* ToString(AccessResult r) {
+  switch (r) {
+    case AccessResult::kHit:
+      return "hit";
+    case AccessResult::kMissIssued:
+      return "miss_issued";
+    case AccessResult::kMissMerged:
+      return "miss_merged";
+    case AccessResult::kBypassed:
+      return "bypassed";
+    case AccessResult::kStoreSent:
+      return "store_sent";
+    case AccessResult::kReservationFail:
+      return "reservation_fail";
+  }
+  return "?";
+}
+
+L1DCache::L1DCache(const L1DConfig& cfg)
+    : cfg_(cfg),
+      tda_(cfg.geom),
+      mshr_(cfg.mshr_entries, cfg.mshr_max_merged),
+      policy_(MakePolicy(cfg)) {}
+
+void L1DCache::CommitQuery(std::uint32_t set, Cycle now) {
+  ++stats_.accesses;
+  policy_->OnSetQuery(tda_.SetView(set));
+  policy_->OnAccessSampled(now);
+}
+
+void L1DCache::PushOutgoing(L1DOutgoing req) {
+  assert(outgoing_.size() < cfg_.miss_queue_entries);
+  outgoing_.push_back(req);
+}
+
+L1DOutgoing L1DCache::PopOutgoing() {
+  assert(!outgoing_.empty());
+  L1DOutgoing front = outgoing_.front();
+  outgoing_.pop_front();
+  return front;
+}
+
+void L1DCache::EvictFor(std::uint32_t set, std::uint32_t way, Addr new_block,
+                        Pc pc) {
+  const CacheLine previous = tda_.Reserve(set, way, new_block, pc);
+  if (!IsFilled(previous.state)) return;
+  ++stats_.evictions;
+  policy_->OnEviction(set, previous);
+  if (previous.state == LineState::kModified) {
+    ++stats_.writebacks;
+    PushOutgoing(L1DOutgoing{.block = previous.block,
+                             .write = true,
+                             .no_fill = true,
+                             .pc = previous.src_pc,
+                             .token = 0,
+                             .payload_bytes = cfg_.geom.line_bytes});
+  }
+}
+
+AccessResult L1DCache::Access(const MemAccess& access, Cycle now) {
+  const Addr block = tda_.BlockOf(access.addr);
+  const std::uint32_t set = tda_.SetOfBlock(block);
+  return access.type == AccessType::kLoad ? AccessLoad(access, set, block, now)
+                                          : AccessStore(access, set, block, now);
+}
+
+AccessResult L1DCache::AccessLoad(const MemAccess& access, std::uint32_t set,
+                                  Addr block, Cycle now) {
+  const std::uint32_t way = tda_.Probe(set, block);
+
+  // --- filled-line hit ---
+  if (way != kInvalidIndex && IsFilled(tda_.At(set, way).state)) {
+    if (observer_ != nullptr) {
+      observer_->OnAccess(set, block, access.pc, AccessType::kLoad, true);
+    }
+    CommitQuery(set, now);
+    policy_->OnLoadHit(tda_.At(set, way), access.pc);
+    tda_.Touch(set, way);
+    ++stats_.loads;
+    ++stats_.load_hits;
+    return AccessResult::kHit;
+  }
+
+  // --- reserved-line hit: merge into the in-flight MSHR entry ---
+  if (way != kInvalidIndex) {
+    assert(tda_.At(set, way).state == LineState::kReserved);
+    if (mshr_.CanMerge(block)) {
+      if (observer_ != nullptr) {
+        observer_->OnAccess(set, block, access.pc, AccessType::kLoad, false);
+      }
+      CommitQuery(set, now);
+      policy_->OnMergedMiss(tda_.At(set, way), access.pc);
+      mshr_.Merge(block, access.token);
+      ++stats_.loads;
+      ++stats_.load_misses;
+      ++stats_.mshr_merges;
+      return AccessResult::kMissMerged;
+    }
+    // Unmergeable (entry at its merge limit): resource stall.
+    if (policy_->BypassOnResourceStall() && !OutgoingFull()) {
+      if (observer_ != nullptr) {
+        observer_->OnAccess(set, block, access.pc, AccessType::kLoad, false);
+      }
+      CommitQuery(set, now);
+      policy_->OnLoadMiss(set, block, access.pc);
+      ++stats_.loads;
+      ++stats_.load_misses;
+      ++stats_.bypasses;
+      PushOutgoing(L1DOutgoing{.block = block,
+                               .write = false,
+                               .no_fill = true,
+                               .pc = access.pc,
+                               .token = access.token,
+                               .payload_bytes = 0});
+      return AccessResult::kBypassed;
+    }
+    ++stats_.reservation_fails;
+    return AccessResult::kReservationFail;
+  }
+
+  // --- true miss ---
+  VictimChoice choice = policy_->PickVictim(tda_, set);
+
+  if (choice.kind == VictimChoice::Kind::kWay) {
+    // A normal miss needs an MSHR entry, one outgoing slot for the read
+    // request, and a second slot if the victim is dirty.
+    const bool dirty_victim =
+        tda_.At(set, choice.way).state == LineState::kModified;
+    const std::size_t slots_needed = dirty_victim ? 2 : 1;
+    const bool has_resources =
+        mshr_.CanAllocate() &&
+        outgoing_.size() + slots_needed <= cfg_.miss_queue_entries;
+    if (has_resources) {
+      if (observer_ != nullptr) {
+        observer_->OnAccess(set, block, access.pc, AccessType::kLoad, false);
+      }
+      CommitQuery(set, now);
+      policy_->OnLoadMiss(set, block, access.pc);
+      EvictFor(set, choice.way, block, access.pc);
+      policy_->OnReserve(tda_.At(set, choice.way), access.pc);
+      mshr_.Allocate(block, access.token);
+      PushOutgoing(L1DOutgoing{.block = block,
+                               .write = false,
+                               .no_fill = false,
+                               .pc = access.pc,
+                               .token = 0,
+                               .payload_bytes = 0});
+      ++stats_.loads;
+      ++stats_.load_misses;
+      ++stats_.misses_issued;
+      return AccessResult::kMissIssued;
+    }
+    // MSHR / miss-queue exhaustion.
+    choice = policy_->BypassOnResourceStall() ? VictimChoice::Bypass()
+                                              : VictimChoice::Stall();
+  }
+
+  if (choice.kind == VictimChoice::Kind::kBypass && !OutgoingFull()) {
+    if (observer_ != nullptr) {
+      observer_->OnAccess(set, block, access.pc, AccessType::kLoad, false);
+    }
+    CommitQuery(set, now);
+    policy_->OnLoadMiss(set, block, access.pc);
+    ++stats_.loads;
+    ++stats_.load_misses;
+    ++stats_.bypasses;
+    PushOutgoing(L1DOutgoing{.block = block,
+                             .write = false,
+                             .no_fill = true,
+                             .pc = access.pc,
+                             .token = access.token,
+                             .payload_bytes = 0});
+    return AccessResult::kBypassed;
+  }
+
+  ++stats_.reservation_fails;
+  return AccessResult::kReservationFail;
+}
+
+AccessResult L1DCache::AccessStore(const MemAccess& access, std::uint32_t set,
+                                   Addr block, Cycle now) {
+  const std::uint32_t way = tda_.Probe(set, block);
+  const bool hit = way != kInvalidIndex && IsFilled(tda_.At(set, way).state);
+
+  if (hit && cfg_.write_policy == WritePolicy::kWriteBackOnHit) {
+    if (observer_ != nullptr) {
+      observer_->OnAccess(set, block, access.pc, AccessType::kStore, true);
+    }
+    CommitQuery(set, now);
+    tda_.At(set, way).state = LineState::kModified;
+    tda_.Touch(set, way);
+    ++stats_.stores;
+    ++stats_.store_hits;
+    return AccessResult::kStoreSent;
+  }
+
+  // Write-through path (store miss, or any store under write-evict);
+  // needs one outgoing slot.
+  if (OutgoingFull()) {
+    ++stats_.reservation_fails;
+    return AccessResult::kReservationFail;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnAccess(set, block, access.pc, AccessType::kStore, hit);
+  }
+  CommitQuery(set, now);
+  ++stats_.stores;
+  if (hit) {
+    // Write-evict (Fermi global stores): invalidate the cached copy.
+    ++stats_.store_hits;
+    ++stats_.store_invalidates;
+    tda_.Invalidate(set, way);
+  }
+  PushOutgoing(L1DOutgoing{.block = block,
+                           .write = true,
+                           .no_fill = true,
+                           .pc = access.pc,
+                           .token = 0,
+                           .payload_bytes = cfg_.geom.line_bytes});
+  return AccessResult::kStoreSent;
+}
+
+void L1DCache::Fill(const L1DResponse& response, Cycle now,
+                    std::vector<MshrToken>& woken) {
+  (void)now;
+  if (response.no_fill) {
+    woken.push_back(response.token);
+    return;
+  }
+  const std::uint32_t set = tda_.SetOfBlock(response.block);
+  const bool filled = tda_.Fill(set, response.block);
+  assert(filled && "fill for a block that is not reserved");
+  (void)filled;
+  ++stats_.fills;
+  std::vector<MshrToken> tokens = mshr_.Retire(response.block);
+  woken.insert(woken.end(), tokens.begin(), tokens.end());
+}
+
+void L1DCache::Reset() {
+  tda_ = TagArray(cfg_.geom);
+  mshr_ = MshrTable(cfg_.mshr_entries, cfg_.mshr_max_merged);
+  policy_->Reset();
+  outgoing_.clear();
+}
+
+}  // namespace dlpsim

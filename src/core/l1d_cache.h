@@ -1,0 +1,121 @@
+// The L1D cache front end: tag/data array + MSHR + miss queue + the
+// selected protection policy, exposing the GPGPU-Sim-style access API
+// used by the SM's LD/ST unit.
+//
+// Access outcomes mirror the hardware behaviours the paper leans on:
+//  - kHit           : data returned this cycle (plus hit latency)
+//  - kMissIssued    : line reserved, MSHR allocated, request enqueued
+//  - kMissMerged    : folded into an in-flight MSHR entry
+//  - kBypassed      : sent to the interconnect around the cache
+//  - kReservationFail: nothing could be done; the LD/ST unit must retry
+//                     next cycle, blocking the memory pipeline behind it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/mshr.h"
+#include "cache/observer.h"
+#include "cache/stats.h"
+#include "cache/tag_array.h"
+#include "core/policies.h"
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace dlpsim {
+
+enum class AccessResult : std::uint8_t {
+  kHit,
+  kMissIssued,
+  kMissMerged,
+  kBypassed,
+  kStoreSent,        // store committed (write-through or dirtied in place)
+  kReservationFail,
+};
+
+const char* ToString(AccessResult r);
+
+/// One L1D transaction from the LD/ST unit (already coalesced to a line).
+struct MemAccess {
+  Addr addr = 0;
+  AccessType type = AccessType::kLoad;
+  Pc pc = 0;
+  MshrToken token = 0;  // wake handle for loads
+};
+
+/// A request leaving the L1D towards the interconnect.
+struct L1DOutgoing {
+  Addr block = 0;        // line-aligned block index (addr / line_bytes)
+  bool write = false;
+  bool no_fill = false;  // bypassed load: response must not fill the TDA
+  Pc pc = 0;
+  MshrToken token = 0;   // valid when no_fill (bypassed load)
+  std::uint32_t payload_bytes = 0;  // data carried (writes); 0 for reads
+};
+
+/// A response arriving from the interconnect.
+struct L1DResponse {
+  Addr block = 0;
+  bool no_fill = false;
+  MshrToken token = 0;  // valid when no_fill
+};
+
+class L1DCache {
+ public:
+  explicit L1DCache(const L1DConfig& cfg);
+
+  /// Processes one transaction. On kReservationFail the caller must retry
+  /// the same transaction next cycle; no state was modified.
+  AccessResult Access(const MemAccess& access, Cycle now);
+
+  /// Handles a returning response; appends woken tokens to `woken`.
+  void Fill(const L1DResponse& response, Cycle now,
+            std::vector<MshrToken>& woken);
+
+  // --- outgoing (miss/bypass/write) queue, drained by the SM each cycle ---
+  bool HasOutgoing() const { return !outgoing_.empty(); }
+  const L1DOutgoing& PeekOutgoing() const { return outgoing_.front(); }
+  L1DOutgoing PopOutgoing();
+
+  /// Clears all transient state between kernels (lines, MSHRs, policy).
+  void Reset();
+
+  // --- introspection ---
+  const CacheStats& stats() const { return stats_; }
+  const TagArray& tda() const { return tda_; }
+  const MshrTable& mshr() const { return mshr_; }
+  const ProtectionPolicy& policy() const { return *policy_; }
+  const L1DConfig& config() const { return cfg_; }
+  std::uint32_t line_bytes() const { return cfg_.geom.line_bytes; }
+
+  /// Optional pre-policy observer (reuse-distance profiling).
+  void SetObserver(AccessObserver* observer) { observer_ = observer; }
+
+ private:
+  AccessResult AccessLoad(const MemAccess& access, std::uint32_t set,
+                          Addr block, Cycle now);
+  AccessResult AccessStore(const MemAccess& access, std::uint32_t set,
+                           Addr block, Cycle now);
+
+  /// Commits the bookkeeping every completed access shares: set query
+  /// (PL decay), sampling tick, access counter.
+  void CommitQuery(std::uint32_t set, Cycle now);
+
+  bool OutgoingFull() const { return outgoing_.size() >= cfg_.miss_queue_entries; }
+  void PushOutgoing(L1DOutgoing req);
+
+  /// Evicts (set, way) for reuse; updates stats/VTA/writeback traffic.
+  void EvictFor(std::uint32_t set, std::uint32_t way, Addr new_block, Pc pc);
+
+  L1DConfig cfg_;
+  TagArray tda_;
+  MshrTable mshr_;
+  std::unique_ptr<ProtectionPolicy> policy_;
+  std::deque<L1DOutgoing> outgoing_;
+  CacheStats stats_;
+  AccessObserver* observer_ = nullptr;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,39 @@
+#include "core/overhead.h"
+
+#include <sstream>
+
+namespace dlpsim {
+
+OverheadReport ComputeOverhead(const L1DConfig& cfg, std::uint32_t tag_bits) {
+  const ProtectionConfig& p = cfg.prot;
+  const std::uint64_t tda_entries = cfg.geom.num_lines();
+  const std::uint64_t vta_ways = p.vta_ways == 0 ? cfg.geom.ways : p.vta_ways;
+  const std::uint64_t vta_entries = std::uint64_t{cfg.geom.sets} * vta_ways;
+
+  OverheadReport r;
+  // Per-TDA-entry additions: instruction ID + protected life.
+  r.tda_extra_bits = tda_entries * (p.insn_id_bits + p.pd_bits);
+  // VTA: 32-bit tag + instruction ID per entry (paper §4.3).
+  r.vta_bits = vta_entries * (tag_bits + p.insn_id_bits);
+  // PDPT: insn ID + TDA hits + VTA hits + PD per entry.
+  r.pdpt_bits = std::uint64_t{p.pdpt_entries} *
+                (p.insn_id_bits + p.tda_hit_bits + p.vta_hit_bits + p.pd_bits);
+  // Baseline cache: data plus tags ("16896 bytes for the TDA" in the paper
+  // = 16KB data + 128 x 32-bit tags).
+  r.baseline_bits =
+      cfg.geom.size_bytes() * 8ull + tda_entries * std::uint64_t{tag_bits};
+  return r;
+}
+
+std::string OverheadReport::ToText() const {
+  std::ostringstream os;
+  os << "TDA extra fields: " << tda_extra_bytes() << " B\n"
+     << "VTA:              " << vta_bytes() << " B\n"
+     << "PDPT:             " << pdpt_bytes() << " B\n"
+     << "Total extra:      " << total_extra_bytes() << " B\n"
+     << "Baseline cache:   " << baseline_bytes() << " B\n"
+     << "Overhead:         " << overhead_fraction() * 100.0 << " %\n";
+  return os.str();
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,48 @@
+// Hardware-cost model for the DLP additions (paper §4.3).
+//
+// Reproduces the paper's arithmetic: per-TDA-entry instruction-ID (7b) and
+// Protected-Life (4b) fields, VTA entries of tag (32b) + instruction ID
+// (7b), and PDPT entries of 7b + 8b + 10b + 4b, reported as bytes and as a
+// fraction of the baseline cache (tag+data) size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.h"
+
+namespace dlpsim {
+
+struct OverheadReport {
+  std::uint64_t tda_extra_bits = 0;   // insn ID + PL added to each TDA entry
+  std::uint64_t vta_bits = 0;         // tag + insn ID per VTA entry
+  std::uint64_t pdpt_bits = 0;        // all PDPT entries
+  std::uint64_t baseline_bits = 0;    // data + tags of the unmodified cache
+
+  std::uint64_t tda_extra_bytes() const { return (tda_extra_bits + 7) / 8; }
+  std::uint64_t vta_bytes() const { return (vta_bits + 7) / 8; }
+  std::uint64_t pdpt_bytes() const { return (pdpt_bits + 7) / 8; }
+  std::uint64_t total_extra_bytes() const {
+    return tda_extra_bytes() + vta_bytes() + pdpt_bytes();
+  }
+  std::uint64_t baseline_bytes() const { return (baseline_bits + 7) / 8; }
+  double overhead_fraction() const {
+    return baseline_bits == 0
+               ? 0.0
+               : static_cast<double>(total_extra_bits()) /
+                     static_cast<double>(baseline_bits);
+  }
+  std::uint64_t total_extra_bits() const {
+    return tda_extra_bits + vta_bits + pdpt_bits;
+  }
+
+  std::string ToText() const;
+};
+
+/// Computes the DLP storage overhead for a given L1D configuration.
+/// `tag_bits` is the per-line tag width used for the paper's arithmetic
+/// (the paper charges 32 bits per VTA tag).
+OverheadReport ComputeOverhead(const L1DConfig& cfg,
+                               std::uint32_t tag_bits = 32);
+
+}  // namespace dlpsim

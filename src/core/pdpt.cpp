@@ -1,0 +1,79 @@
+#include "core/pdpt.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlpsim {
+
+PdpTable::PdpTable(const ProtectionConfig& cfg, std::uint32_t nasc)
+    : cfg_(cfg), nasc_(nasc) {
+  assert(nasc_ > 0);
+  entries_.reserve(cfg_.pdpt_entries);
+  for (std::uint32_t i = 0; i < cfg_.pdpt_entries; ++i) {
+    entries_.emplace_back(cfg_.tda_hit_bits, cfg_.vta_hit_bits);
+  }
+}
+
+void PdpTable::CreditTdaHit(std::uint32_t insn_id) {
+  assert(insn_id < entries_.size());
+  entries_[insn_id].tda_hits.Increment();
+  ++global_tda_hits_;
+}
+
+void PdpTable::CreditVtaHit(std::uint32_t insn_id) {
+  assert(insn_id < entries_.size());
+  entries_[insn_id].vta_hits.Increment();
+  ++global_vta_hits_;
+}
+
+std::uint32_t PdpTable::StepAdjustment(std::uint32_t vta_hits,
+                                       std::uint32_t tda_hits) const {
+  // Step comparison against shifted HitTDA (paper §4.2). A load with no
+  // TDA hits but some VTA hits is maximally under-protected.
+  if (vta_hits == 0) return 0;
+  if (tda_hits == 0) return 4 * nasc_;
+  if (vta_hits >= 4 * tda_hits) return 4 * nasc_;  // upper limit: 4 * Nasc
+  if (vta_hits >= 2 * tda_hits) return 2 * nasc_;
+  if (vta_hits >= tda_hits) return nasc_;
+  if (2 * vta_hits >= tda_hits) return nasc_ / 2;  // >= half of HitTDA
+  return 0;
+}
+
+PdpTable::UpdatePath PdpTable::EndSample() {
+  UpdatePath path = UpdatePath::kHold;
+  if (global_vta_hits_ > global_tda_hits_) {
+    path = UpdatePath::kIncrease;
+    ++increase_samples;
+    for (Entry& e : entries_) {
+      const std::uint32_t adj =
+          StepAdjustment(e.vta_hits.value(), e.tda_hits.value());
+      e.pd = std::min(e.pd + adj, cfg_.pd_max());
+    }
+  } else if (2 * global_vta_hits_ < global_tda_hits_) {
+    path = UpdatePath::kDecrease;
+    ++decrease_samples;
+    for (Entry& e : entries_) {
+      e.pd = (e.pd > nasc_) ? e.pd - nasc_ : 0;
+    }
+  }
+  for (Entry& e : entries_) {
+    e.tda_hits.Reset();
+    e.vta_hits.Reset();
+  }
+  global_tda_hits_ = 0;
+  global_vta_hits_ = 0;
+  ++samples_taken;
+  return path;
+}
+
+void PdpTable::Clear() {
+  for (Entry& e : entries_) {
+    e.tda_hits.Reset();
+    e.vta_hits.Reset();
+    e.pd = 0;
+  }
+  global_tda_hits_ = 0;
+  global_vta_hits_ = 0;
+}
+
+}  // namespace dlpsim

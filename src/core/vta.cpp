@@ -1,0 +1,70 @@
+#include "core/vta.h"
+
+#include <cassert>
+
+namespace dlpsim {
+
+VictimTagArray::VictimTagArray(std::uint32_t sets, std::uint32_t ways)
+    : sets_(sets), ways_(ways), entries_(std::size_t{sets} * ways) {
+  assert(sets > 0 && ways > 0);
+}
+
+VictimTagArray::HitInfo VictimTagArray::ProbeAndConsume(std::uint32_t set,
+                                                        Addr block) {
+  Entry* base = SetBase(set);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].block == block) {
+      HitInfo info{true, base[w].insn_id};
+      base[w] = Entry{};
+      return info;
+    }
+  }
+  return {};
+}
+
+bool VictimTagArray::Contains(std::uint32_t set, Addr block) const {
+  const Entry* base = SetBase(set);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].block == block) return true;
+  }
+  return false;
+}
+
+void VictimTagArray::Insert(std::uint32_t set, Addr block,
+                            std::uint32_t insn_id) {
+  Entry* base = SetBase(set);
+  Entry* victim = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.block == block) {
+      victim = &e;  // refresh an existing tag in place
+      break;
+    }
+    if (!e.valid) {
+      if (victim == nullptr || victim->valid) victim = &e;
+      continue;
+    }
+    if (victim == nullptr ||
+        (victim->valid && e.last_use < victim->last_use)) {
+      victim = &e;
+    }
+  }
+  assert(victim != nullptr);
+  victim->block = block;
+  victim->insn_id = insn_id;
+  victim->valid = true;
+  victim->last_use = ++use_clock_;
+}
+
+void VictimTagArray::Clear() {
+  for (Entry& e : entries_) e = Entry{};
+}
+
+std::uint32_t VictimTagArray::Occupancy(std::uint32_t set) const {
+  std::uint32_t n = 0;
+  const Entry* base = SetBase(set);
+  for (std::uint32_t w = 0; w < ways_; ++w) n += base[w].valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,65 @@
+// Victim Tag Array (paper §4.1.2).
+//
+// Holds the tags (plus instruction IDs) of lines recently evicted from the
+// TDA. A hit in the VTA means "a larger/longer-lived cache would have hit
+// here" -- exactly the signal used to grow protection distances. Entries
+// carry no data; sets mirror the TDA's sets and the associativity equals
+// the TDA's (paper footnote 2). LRU replacement; entries are consumed on
+// hit (the line is about to be refetched and will re-enter the TDA).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dlpsim {
+
+class VictimTagArray {
+ public:
+  VictimTagArray(std::uint32_t sets, std::uint32_t ways);
+
+  struct HitInfo {
+    bool hit = false;
+    std::uint32_t insn_id = 0;  // instruction credited with the VTA hit
+  };
+
+  /// Probes for `block` in `set`; on hit the entry is removed and the
+  /// stored instruction ID returned for PDPT crediting.
+  HitInfo ProbeAndConsume(std::uint32_t set, Addr block);
+
+  /// Probe without consuming (analysis/tests).
+  bool Contains(std::uint32_t set, Addr block) const;
+
+  /// Inserts an evicted tag; replaces the set's LRU entry when full.
+  void Insert(std::uint32_t set, Addr block, std::uint32_t insn_id);
+
+  /// Drops every entry (used between kernels).
+  void Clear();
+
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+  /// Occupied entries in `set` (tests).
+  std::uint32_t Occupancy(std::uint32_t set) const;
+
+ private:
+  struct Entry {
+    Addr block = 0;
+    std::uint32_t insn_id = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  Entry* SetBase(std::uint32_t set) { return &entries_[std::size_t{set} * ways_]; }
+  const Entry* SetBase(std::uint32_t set) const {
+    return &entries_[std::size_t{set} * ways_];
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<Entry> entries_;
+  std::uint64_t use_clock_ = 0;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,78 @@
+#include "gpu/metrics.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace dlpsim {
+
+namespace {
+// Single field table so serialization and parsing cannot drift apart.
+struct FieldDef {
+  const char* name;
+  std::uint64_t Metrics::* member;
+};
+
+constexpr FieldDef kFields[] = {
+    {"core_cycles", &Metrics::core_cycles},
+    {"committed_thread_insns", &Metrics::committed_thread_insns},
+    {"committed_mem_insns", &Metrics::committed_mem_insns},
+    {"issued_warp_insns", &Metrics::issued_warp_insns},
+    {"ldst_stall_cycles", &Metrics::ldst_stall_cycles},
+    {"load_block_cycles", &Metrics::load_block_cycles},
+    {"load_block_events", &Metrics::load_block_events},
+    {"completed", &Metrics::completed},
+    {"l1d_accesses", &Metrics::l1d_accesses},
+    {"l1d_loads", &Metrics::l1d_loads},
+    {"l1d_stores", &Metrics::l1d_stores},
+    {"l1d_load_hits", &Metrics::l1d_load_hits},
+    {"l1d_load_misses", &Metrics::l1d_load_misses},
+    {"l1d_mshr_merges", &Metrics::l1d_mshr_merges},
+    {"l1d_misses_issued", &Metrics::l1d_misses_issued},
+    {"l1d_bypasses", &Metrics::l1d_bypasses},
+    {"l1d_reservation_fails", &Metrics::l1d_reservation_fails},
+    {"l1d_evictions", &Metrics::l1d_evictions},
+    {"l1d_writebacks", &Metrics::l1d_writebacks},
+    {"l1d_fills", &Metrics::l1d_fills},
+    {"icnt_bytes_total", &Metrics::icnt_bytes_total},
+    {"icnt_bytes_l1d", &Metrics::icnt_bytes_l1d},
+    {"icnt_bytes_other", &Metrics::icnt_bytes_other},
+    {"l2_accesses", &Metrics::l2_accesses},
+    {"l2_load_hits", &Metrics::l2_load_hits},
+    {"l2_load_misses", &Metrics::l2_load_misses},
+    {"dram_reads", &Metrics::dram_reads},
+    {"dram_writes", &Metrics::dram_writes},
+    {"dram_row_hits", &Metrics::dram_row_hits},
+    {"dram_row_misses", &Metrics::dram_row_misses},
+};
+}  // namespace
+
+std::string Metrics::ToText() const {
+  std::ostringstream os;
+  for (const FieldDef& f : kFields) {
+    os << f.name << ' ' << this->*(f.member) << '\n';
+  }
+  return os.str();
+}
+
+Metrics Metrics::FromText(const std::string& text, bool* ok) {
+  std::unordered_map<std::string, std::uint64_t> parsed;
+  std::istringstream is(text);
+  std::string name;
+  std::uint64_t value;
+  while (is >> name >> value) parsed[name] = value;
+
+  Metrics m;
+  bool all_found = true;
+  for (const FieldDef& f : kFields) {
+    auto it = parsed.find(f.name);
+    if (it == parsed.end()) {
+      all_found = false;
+      continue;
+    }
+    m.*(f.member) = it->second;
+  }
+  if (ok != nullptr) *ok = all_found && !parsed.empty();
+  return m;
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,84 @@
+// Aggregated run metrics: everything the paper's tables/figures need,
+// with a flat text serialization used by the bench result cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dlpsim {
+
+struct Metrics {
+  // --- core ---
+  std::uint64_t core_cycles = 0;
+  std::uint64_t committed_thread_insns = 0;
+  std::uint64_t committed_mem_insns = 0;
+  std::uint64_t issued_warp_insns = 0;
+  std::uint64_t ldst_stall_cycles = 0;
+  std::uint64_t load_block_cycles = 0;  // warp cycles blocked on loads
+  std::uint64_t load_block_events = 0;
+  std::uint64_t completed = 0;  // 1 iff all warps drained before the cap
+
+  // --- L1D (summed over all SMs) ---
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_loads = 0;
+  std::uint64_t l1d_stores = 0;
+  std::uint64_t l1d_load_hits = 0;
+  std::uint64_t l1d_load_misses = 0;
+  std::uint64_t l1d_mshr_merges = 0;
+  std::uint64_t l1d_misses_issued = 0;
+  std::uint64_t l1d_bypasses = 0;
+  std::uint64_t l1d_reservation_fails = 0;
+  std::uint64_t l1d_evictions = 0;
+  std::uint64_t l1d_writebacks = 0;
+  std::uint64_t l1d_fills = 0;
+
+  // --- interconnect ---
+  std::uint64_t icnt_bytes_total = 0;
+  std::uint64_t icnt_bytes_l1d = 0;
+  std::uint64_t icnt_bytes_other = 0;
+
+  // --- L2 / DRAM (summed over partitions) ---
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_load_hits = 0;
+  std::uint64_t l2_load_misses = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_row_hits = 0;
+  std::uint64_t dram_row_misses = 0;
+
+  // --- derived ---
+  double ipc() const {
+    return core_cycles == 0
+               ? 0.0
+               : static_cast<double>(committed_thread_insns) / core_cycles;
+  }
+  /// Paper §3.2: N_memory_access / N_insn at thread level.
+  double memory_access_ratio() const {
+    return committed_thread_insns == 0
+               ? 0.0
+               : static_cast<double>(committed_mem_insns) /
+                     committed_thread_insns;
+  }
+  /// Mean cycles a warp spends blocked per memory-bound load.
+  double avg_load_latency() const {
+    return load_block_events == 0
+               ? 0.0
+               : static_cast<double>(load_block_cycles) / load_block_events;
+  }
+
+  /// Accesses that actually entered the L1D (Fig. 11a's "traffic").
+  std::uint64_t l1d_traffic() const { return l1d_accesses - l1d_bypasses; }
+  /// Paper Fig. 12a: bypassed accesses do not count towards the hit rate.
+  double l1d_hit_rate() const {
+    const std::uint64_t serviced = l1d_loads - l1d_bypasses;
+    return serviced == 0
+               ? 0.0
+               : static_cast<double>(l1d_load_hits) / serviced;
+  }
+
+  /// Flat "key value" lines (stable order), parseable by FromText.
+  std::string ToText() const;
+  static Metrics FromText(const std::string& text, bool* ok = nullptr);
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,99 @@
+#include "gpu/simulator.h"
+
+namespace dlpsim {
+
+GpuSimulator::GpuSimulator(const SimConfig& cfg, const Program* program,
+                           std::uint32_t warps_per_sm, SchedulerKind sched)
+    : cfg_(cfg), icnt_(cfg.icnt, cfg.num_cores, cfg.num_partitions) {
+  cores_.reserve(cfg.num_cores);
+  for (SmId id = 0; id < cfg.num_cores; ++id) {
+    cores_.emplace_back(cfg, id, program, warps_per_sm, sched);
+  }
+  partitions_.reserve(cfg.num_partitions);
+  for (PartitionId id = 0; id < cfg.num_partitions; ++id) {
+    partitions_.emplace_back(cfg, id);
+  }
+  core_domain_ = clocks_.AddDomain("core", cfg.core_mhz);
+  icnt_domain_ = clocks_.AddDomain("icnt", cfg.icnt_mhz);
+  mem_domain_ = clocks_.AddDomain("mem", cfg.mem_mhz);
+}
+
+void GpuSimulator::AttachObserver(AccessObserver* observer) {
+  for (SmCore& core : cores_) core.l1d().SetObserver(observer);
+}
+
+void GpuSimulator::Step() {
+  for (std::uint32_t domain : clocks_.Tick()) {
+    if (domain == mem_domain_) {
+      const Cycle now = clocks_.cycles(mem_domain_);
+      for (MemoryPartition& p : partitions_) p.Tick(now, icnt_);
+    } else if (domain == icnt_domain_) {
+      icnt_.Tick(clocks_.cycles(icnt_domain_));
+    } else if (domain == core_domain_) {
+      const Cycle now = clocks_.cycles(core_domain_);
+      for (SmCore& core : cores_) core.TickCore(now, icnt_);
+    }
+  }
+}
+
+bool GpuSimulator::Done() const {
+  for (const SmCore& core : cores_) {
+    if (!core.Drained()) return false;
+  }
+  if (!icnt_.Idle()) return false;
+  for (const MemoryPartition& p : partitions_) {
+    if (!p.Idle()) return false;
+  }
+  return true;
+}
+
+Metrics GpuSimulator::Run() {
+  while (!Done() && clocks_.cycles(core_domain_) < cfg_.max_core_cycles) {
+    Step();
+  }
+  Metrics m = Collect();
+  m.completed = Done() ? 1 : 0;
+  return m;
+}
+
+Metrics GpuSimulator::Collect() const {
+  Metrics m;
+  m.core_cycles = clocks_.cycles(core_domain_);
+  for (const SmCore& core : cores_) {
+    m.committed_thread_insns += core.committed_thread_insns;
+    m.committed_mem_insns += core.committed_mem_insns;
+    m.issued_warp_insns += core.issued_warp_insns;
+    m.ldst_stall_cycles += core.ldst().stall_cycles;
+    m.load_block_cycles += core.load_block_cycles;
+    m.load_block_events += core.load_block_events;
+    const CacheStats& s = core.l1d().stats();
+    m.l1d_accesses += s.accesses;
+    m.l1d_loads += s.loads;
+    m.l1d_stores += s.stores;
+    m.l1d_load_hits += s.load_hits;
+    m.l1d_load_misses += s.load_misses;
+    m.l1d_mshr_merges += s.mshr_merges;
+    m.l1d_misses_issued += s.misses_issued;
+    m.l1d_bypasses += s.bypasses;
+    m.l1d_reservation_fails += s.reservation_fails;
+    m.l1d_evictions += s.evictions;
+    m.l1d_writebacks += s.writebacks;
+    m.l1d_fills += s.fills;
+  }
+  m.icnt_bytes_total = icnt_.total_bytes();
+  m.icnt_bytes_l1d = icnt_.bytes_l1d;
+  m.icnt_bytes_other = icnt_.bytes_other;
+  for (const MemoryPartition& p : partitions_) {
+    const CacheStats& s = p.l2().stats();
+    m.l2_accesses += s.accesses;
+    m.l2_load_hits += s.load_hits;
+    m.l2_load_misses += s.load_misses;
+    m.dram_reads += p.dram().reads;
+    m.dram_writes += p.dram().writes;
+    m.dram_row_hits += p.dram().row_hits;
+    m.dram_row_misses += p.dram().row_misses;
+  }
+  return m;
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,60 @@
+// Whole-GPU wiring: 16 SM cores + crossbar + 12 memory partitions, driven
+// by the three clock domains of Table 1 (core/icnt 650 MHz, mem 924 MHz).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/observer.h"
+#include "gpu/metrics.h"
+#include "icnt/crossbar.h"
+#include "mem/partition.h"
+#include "sim/clock.h"
+#include "sim/config.h"
+#include "sm/sm_core.h"
+#include "workloads/program.h"
+
+namespace dlpsim {
+
+class GpuSimulator {
+ public:
+  /// Launches `warps_per_sm` warps of `program` on every core. The program
+  /// must outlive the simulator.
+  GpuSimulator(const SimConfig& cfg, const Program* program,
+               std::uint32_t warps_per_sm,
+               SchedulerKind sched = SchedulerKind::kGto);
+
+  /// Attaches one observer to every SM's L1D. NOTE: reuse-distance
+  /// profiling must use one observer per SM (see analysis/per_sm_profiler.h)
+  /// or per-set counters interleave across cores; a shared observer is
+  /// only appropriate for aggregate counting.
+  void AttachObserver(AccessObserver* observer);
+
+  /// Runs until every core drains (or the max_core_cycles cap) and
+  /// returns aggregated metrics.
+  Metrics Run();
+
+  /// Single-step variants for tests.
+  void Step();          // one clock-domain event
+  bool Done() const;    // all cores drained, network and memory idle
+
+  Metrics Collect() const;
+
+  std::vector<SmCore>& cores() { return cores_; }
+  Crossbar& icnt() { return icnt_; }
+  std::vector<MemoryPartition>& partitions() { return partitions_; }
+  Cycle core_cycles() const { return clocks_.cycles(core_domain_); }
+
+ private:
+  SimConfig cfg_;
+  std::vector<SmCore> cores_;
+  Crossbar icnt_;
+  std::vector<MemoryPartition> partitions_;
+  ClockDomainSet clocks_;
+  std::uint32_t core_domain_ = 0;
+  std::uint32_t icnt_domain_ = 0;
+  std::uint32_t mem_domain_ = 0;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,80 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlpsim {
+
+DramChannel::DramChannel(const DramConfig& cfg, std::uint32_t line_bytes)
+    : cfg_(cfg),
+      line_bytes_(line_bytes),
+      lines_per_row_(std::max(1u, cfg.row_bytes / line_bytes)),
+      banks_(cfg.banks) {}
+
+std::uint32_t DramChannel::BankOf(Addr block) const {
+  // Row-granular interleave: consecutive lines share a row (streaming
+  // gets row hits), consecutive rows rotate across banks.
+  return static_cast<std::uint32_t>((block / lines_per_row_) % cfg_.banks);
+}
+
+std::uint64_t DramChannel::RowOf(Addr block) const {
+  return (block / lines_per_row_) / cfg_.banks;
+}
+
+void DramChannel::Enqueue(const Request& req) {
+  assert(CanAccept());
+  queue_.push_back(req);
+}
+
+std::vector<DramChannel::Completion> DramChannel::Tick(Cycle now) {
+  // Issue at most one command per cycle to the first queued request whose
+  // bank is free (first-ready scheduling; the bounded queue prevents
+  // unbounded starvation of blocked-bank requests).
+  //
+  // Latency and occupancy are separate: a row hit keeps the bank busy for
+  // only the burst (column accesses pipeline), a row miss additionally
+  // occupies it for the precharge+activate window; the requester sees the
+  // full t_row_hit / t_row_miss latency plus shared-data-bus queueing.
+  const Cycle burst = std::max<Cycle>(
+      1, (line_bytes_ + cfg_.bus_bytes_per_cycle - 1) /
+             cfg_.bus_bytes_per_cycle);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    Bank& bank = banks_[BankOf(it->block)];
+    if (bank.busy_until > now) continue;
+    const std::uint64_t row = RowOf(it->block);
+    const bool row_hit = bank.open_row == row;
+    row_hit ? ++row_hits : ++row_misses;
+    const Cycle latency = row_hit ? cfg_.t_row_hit : cfg_.t_row_miss;
+    const Cycle occupancy = row_hit ? burst : cfg_.t_rc + burst;
+    bank.open_row = row;
+    bank.busy_until = now + occupancy;
+    bus_busy_until_ = std::max(bus_busy_until_, now + latency) + burst;
+    it->write ? ++writes : ++reads;
+    in_service_.push_back(
+        InService{Completion{it->block, it->write, it->tag}, bus_busy_until_});
+    queue_.erase(it);
+    break;
+  }
+
+  std::vector<Completion> done;
+  auto it = in_service_.begin();
+  while (it != in_service_.end()) {
+    if (it->done_at <= now) {
+      done.push_back(it->completion);
+      it = in_service_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return done;
+}
+
+void DramChannel::RegisterStats(StatRegistry& reg,
+                                const std::string& prefix) const {
+  reg.Register(prefix + ".reads", &reads);
+  reg.Register(prefix + ".writes", &writes);
+  reg.Register(prefix + ".row_hits", &row_hits);
+  reg.Register(prefix + ".row_misses", &row_misses);
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,61 @@
+// A memory partition: L2 slice + DRAM channel + the queues between them.
+// Runs in the memory clock domain; packet exchange with the interconnect
+// happens through the Crossbar's partition-side ports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "icnt/crossbar.h"
+#include "mem/dram.h"
+#include "mem/l2_cache.h"
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace dlpsim {
+
+class MemoryPartition {
+ public:
+  MemoryPartition(const SimConfig& cfg, PartitionId id);
+
+  /// Processes up to one incoming packet and advances L2/DRAM bookkeeping
+  /// by one memory-domain cycle. Replies are pushed into the crossbar when
+  /// its partition port has room.
+  void Tick(Cycle now_mem, Crossbar& icnt);
+
+  bool Idle() const;
+
+  const L2Cache& l2() const { return l2_; }
+  const DramChannel& dram() const { return dram_; }
+  PartitionId id() const { return id_; }
+
+  std::uint64_t requests_served = 0;
+
+  /// Debug/teaching introspection: instantaneous queue depths.
+  struct QueueDepths {
+    std::size_t retry = 0, replies = 0, dram_backlog = 0, dram_queue = 0,
+                dram_in_service = 0, l2_pending = 0;
+  };
+  QueueDepths Depths() const;
+
+ private:
+  struct PendingReply {
+    IcntPacket pkt;
+    Cycle ready_at = 0;
+  };
+
+  void ScheduleReply(const IcntPacket& request, Cycle ready_at);
+  void PushReplies(Cycle now, Crossbar& icnt);
+  void HandleDramCompletions(Cycle now);
+
+  SimConfig cfg_;
+  PartitionId id_;
+  L2Cache l2_;
+  DramChannel dram_;
+  std::deque<PendingReply> replies_;     // FIFO of replies awaiting icnt
+  std::deque<IcntPacket> retry_;         // requests stalled by the L2
+  std::deque<DramChannel::Request> dram_backlog_;  // L2 misses / writes
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,39 @@
+#include "sim/config.h"
+
+namespace dlpsim {
+
+const char* ToString(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kBaseline:
+      return "Baseline";
+    case PolicyKind::kStallBypass:
+      return "Stall-Bypass";
+    case PolicyKind::kGlobalProtection:
+      return "Global-Protection";
+    case PolicyKind::kDlp:
+      return "DLP";
+  }
+  return "?";
+}
+
+SimConfig SimConfig::Baseline16KB() { return SimConfig{}; }
+
+SimConfig SimConfig::Cache32KB() {
+  SimConfig c;
+  c.l1d.geom.ways = 8;
+  return c;
+}
+
+SimConfig SimConfig::Cache64KB() {
+  SimConfig c;
+  c.l1d.geom.ways = 16;
+  return c;
+}
+
+SimConfig SimConfig::WithPolicy(PolicyKind k) {
+  SimConfig c;
+  c.l1d.policy = k;
+  return c;
+}
+
+}  // namespace dlpsim

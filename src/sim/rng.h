@@ -1,0 +1,102 @@
+// Deterministic, fast pseudo-random number generation for workloads.
+//
+// We avoid <random> engines in the hot path: workload address generators
+// call the RNG once per lane per memory instruction, and xoshiro-style
+// mixing is both faster and bit-reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace dlpsim {
+
+/// SplitMix64: used to seed and to hash (key, counter) pairs statelessly.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Stateless hash of two 64-bit values to one. Used by address patterns so
+/// that the address of (warp, iteration, lane) is a pure function -- this
+/// keeps every simulated configuration exactly repeatable.
+constexpr std::uint64_t HashMix(std::uint64_t a, std::uint64_t b) {
+  return SplitMix64(a * 0x9e3779b97f4a7c15ull + SplitMix64(b));
+}
+
+/// xorshift64* generator for stateful uses (graph generation, shuffles).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1234abcdull) : state_(SplitMix64(seed)) {
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Bounded Zipf-like sampler over [0, n). Approximates a Zipf(s)
+/// distribution with the inverse-CDF of the continuous bounded Pareto,
+/// which is accurate enough for cache-skew modelling and O(1) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {}
+
+  std::uint64_t Sample(double u) const {
+    // u in [0,1). For s == 0 this degenerates to uniform.
+    if (s_ <= 0.0) return static_cast<std::uint64_t>(u * static_cast<double>(n_));
+    const double one_minus_s = 1.0 - s_;
+    double x;
+    if (one_minus_s > 1e-9 || one_minus_s < -1e-9) {
+      // Inverse CDF of bounded Pareto on [1, n+1).
+      const double nn = static_cast<double>(n_) + 1.0;
+      const double h = (PowFast(nn, one_minus_s) - 1.0) * u + 1.0;
+      x = PowFast(h, 1.0 / one_minus_s);
+    } else {
+      // s == 1: logarithmic CDF.
+      const double nn = static_cast<double>(n_) + 1.0;
+      x = ExpFast(u * LogFast(nn));
+    }
+    std::uint64_t idx = static_cast<std::uint64_t>(x) - 1;
+    return idx >= n_ ? n_ - 1 : idx;
+  }
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  // Thin wrappers so the header does not pull <cmath> into every TU that
+  // includes rng.h transitively; defined inline to stay header-only.
+  static double PowFast(double b, double e);
+  static double ExpFast(double v);
+  static double LogFast(double v);
+
+  std::uint64_t n_;
+  double s_;
+};
+
+}  // namespace dlpsim
+
+#include <cmath>
+namespace dlpsim {
+inline double ZipfSampler::PowFast(double b, double e) { return std::pow(b, e); }
+inline double ZipfSampler::ExpFast(double v) { return std::exp(v); }
+inline double ZipfSampler::LogFast(double v) { return std::log(v); }
+}  // namespace dlpsim

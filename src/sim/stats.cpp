@@ -1,0 +1,34 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace dlpsim {
+
+bool StatRegistry::Register(const std::string& name,
+                            const std::uint64_t* counter) {
+  return counters_.emplace(name, counter).second;
+}
+
+std::uint64_t StatRegistry::Get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : *it->second;
+}
+
+bool StatRegistry::Has(const std::string& name) const {
+  return counters_.count(name) != 0;
+}
+
+std::vector<std::string> StatRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, ptr] : counters_) out.push_back(name);
+  return out;
+}
+
+std::string StatRegistry::Dump() const {
+  std::ostringstream os;
+  for (const auto& [name, ptr] : counters_) os << name << ' ' << *ptr << '\n';
+  return os.str();
+}
+
+}  // namespace dlpsim

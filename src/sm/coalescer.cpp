@@ -1,0 +1,35 @@
+#include "sm/coalescer.h"
+
+#include <algorithm>
+
+namespace dlpsim {
+
+std::vector<Addr> Coalescer::Transactions(const AccessPattern& pattern,
+                                          std::uint64_t warp,
+                                          std::uint64_t iter) const {
+  std::vector<Addr> lines;
+  lines.reserve(8);
+  for (std::uint32_t lane = 0; lane < warp_size_; ++lane) {
+    const Addr line = pattern.AddressFor(warp, iter, lane) / line_bytes_ *
+                      line_bytes_;
+    if (std::find(lines.begin(), lines.end(), line) == lines.end()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+std::vector<Addr> Coalescer::TransactionsFromLanes(
+    const std::vector<Addr>& lane_addrs) const {
+  std::vector<Addr> lines;
+  lines.reserve(8);
+  for (Addr a : lane_addrs) {
+    const Addr line = a / line_bytes_ * line_bytes_;
+    if (std::find(lines.begin(), lines.end(), line) == lines.end()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,33 @@
+// Memory-access coalescer: folds the 32 per-lane addresses of one warp
+// memory instruction into the minimal set of line transactions, in lane
+// order (GPGPU-Sim generates one transaction per distinct 128B segment).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+#include "workloads/patterns.h"
+
+namespace dlpsim {
+
+class Coalescer {
+ public:
+  explicit Coalescer(std::uint32_t warp_size, std::uint32_t line_bytes)
+      : warp_size_(warp_size), line_bytes_(line_bytes) {}
+
+  /// Distinct line-aligned addresses touched by lanes [0, warp_size) of
+  /// `pattern` at (warp, iter). Order of first touch is preserved.
+  std::vector<Addr> Transactions(const AccessPattern& pattern,
+                                 std::uint64_t warp, std::uint64_t iter) const;
+
+  /// Same, from raw lane addresses (unit tests / custom generators).
+  std::vector<Addr> TransactionsFromLanes(
+      const std::vector<Addr>& lane_addrs) const;
+
+ private:
+  std::uint32_t warp_size_;
+  std::uint32_t line_bytes_;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,47 @@
+#include "sm/ldst_unit.h"
+
+#include <cassert>
+
+namespace dlpsim {
+
+void LdStUnit::Enqueue(WarpMemOp op) {
+  assert(CanAccept());
+  assert(!op.lines.empty());
+  ++mem_ops;
+  queue_.push_back(std::move(op));
+}
+
+void LdStUnit::Tick(Cycle now, std::vector<Warp>& warps) {
+  for (std::uint32_t slot = 0; slot < cfg_.ldst_width; ++slot) {
+    if (queue_.empty()) return;
+    WarpMemOp& op = queue_.front();
+    Warp& warp = warps[op.warp_index];
+
+    const MemAccess access{op.lines[op.next], op.type, op.pc,
+                           static_cast<MshrToken>(op.warp_index)};
+    const AccessResult result = l1d_->Access(access, now);
+
+    switch (result) {
+      case AccessResult::kReservationFail:
+        ++stall_cycles;
+        return;  // head-of-line blocking: retry next cycle
+      case AccessResult::kHit:
+      case AccessResult::kStoreSent:
+        ++transactions;
+        break;
+      case AccessResult::kMissIssued:
+      case AccessResult::kMissMerged:
+      case AccessResult::kBypassed:
+        ++transactions;
+        if (op.type == AccessType::kLoad) warp.AddOutstanding(1);
+        break;
+    }
+
+    if (++op.next == op.lines.size()) {
+      if (op.type == AccessType::kLoad) warp.OnMemOpDispatched();
+      queue_.pop_front();
+    }
+  }
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,56 @@
+// The LD/ST unit: an in-order queue of warp memory operations feeding the
+// L1D one line transaction per cycle (ldst_width).
+//
+// This is where the paper's performance pathology lives: when the L1D
+// reports a reservation failure the head transaction retries next cycle
+// and everything behind it -- every other warp's memory op -- is blocked
+// (paper §2: "all future accesses to the L1D cache will be stalled").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/l1d_cache.h"
+#include "sim/config.h"
+#include "sim/types.h"
+#include "sm/warp.h"
+
+namespace dlpsim {
+
+struct WarpMemOp {
+  std::uint32_t warp_index = 0;
+  Pc pc = 0;
+  AccessType type = AccessType::kLoad;
+  std::vector<Addr> lines;     // coalesced transactions
+  std::uint32_t next = 0;      // dispatch cursor
+};
+
+class LdStUnit {
+ public:
+  LdStUnit(const CoreConfig& cfg, L1DCache* l1d) : cfg_(cfg), l1d_(l1d) {}
+
+  bool CanAccept() const { return queue_.size() < cfg_.ldst_queue_entries; }
+
+  /// Queues a memory op. For loads the warp must already be blocked via
+  /// Warp::BlockOnMem().
+  void Enqueue(WarpMemOp op);
+
+  /// Dispatches up to ldst_width transactions from the head op.
+  void Tick(Cycle now, std::vector<Warp>& warps);
+
+  bool Idle() const { return queue_.empty(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  // --- statistics ---
+  std::uint64_t stall_cycles = 0;       // cycles blocked on reservation fail
+  std::uint64_t transactions = 0;       // L1D transactions dispatched
+  std::uint64_t mem_ops = 0;            // warp-level memory instructions
+
+ private:
+  CoreConfig cfg_;
+  L1DCache* l1d_;
+  std::deque<WarpMemOp> queue_;
+};
+
+}  // namespace dlpsim

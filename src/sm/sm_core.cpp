@@ -1,0 +1,151 @@
+#include "sm/sm_core.h"
+
+#include <cassert>
+
+namespace dlpsim {
+
+SmCore::SmCore(const SimConfig& cfg, SmId id, const Program* program,
+               std::uint32_t warps, SchedulerKind sched)
+    : cfg_(cfg),
+      id_(id),
+      program_(program),
+      l1d_(std::make_unique<L1DCache>(cfg.l1d)),
+      ldst_(cfg.core, l1d_.get()),
+      coalescer_(cfg.core.warp_size, cfg.l1d.geom.line_bytes) {
+  assert(warps > 0 && warps <= cfg.core.max_warps);
+  warps_.reserve(warps);
+  for (std::uint32_t w = 0; w < warps; ++w) {
+    warps_.emplace_back(w, std::uint64_t{id} * warps + w, program);
+  }
+  for (std::uint32_t s = 0; s < cfg.core.num_schedulers; ++s) {
+    schedulers_.emplace_back(sched, s, cfg.core.num_schedulers);
+  }
+}
+
+void SmCore::AcceptResponses(Cycle now, Crossbar& icnt) {
+  std::vector<MshrToken> woken;
+  while (icnt.HasForCore(id_)) {
+    const IcntPacket pkt = icnt.PopForCore(id_);
+    assert(pkt.kind == IcntPacket::Kind::kReadReply);
+    woken.clear();
+    l1d_->Fill(L1DResponse{pkt.addr / cfg_.l1d.geom.line_bytes, pkt.no_fill,
+                           pkt.token},
+               now, woken);
+    for (MshrToken token : woken) {
+      Warp& w = warps_[static_cast<std::size_t>(token)];
+      w.OnTransactionDone();
+      if (w.Quiescent()) {
+        load_block_cycles += now - w.block_start();
+        ++load_block_events;
+      }
+    }
+  }
+}
+
+void SmCore::IssueFrom(WarpScheduler& sched, Cycle now) {
+  const std::uint32_t w = sched.Pick(warps_, now);
+  if (w == kInvalidIndex) return;
+  Warp& warp = warps_[w];
+  const Instruction& insn = warp.Current();
+
+  if (insn.op == OpClass::kLoad || insn.op == OpClass::kStore) {
+    if (!ldst_.CanAccept()) {
+      ++mem_blocked_issues;
+      return;  // structural hazard; try again next cycle
+    }
+    WarpMemOp op;
+    op.warp_index = w;
+    op.pc = insn.pc;
+    op.type = insn.op == OpClass::kLoad ? AccessType::kLoad
+                                        : AccessType::kStore;
+    op.lines = coalescer_.Transactions(*insn.pattern, warp.global_id(),
+                                       warp.iteration());
+    warp.AdvanceIssue(now);
+    if (op.type == AccessType::kLoad) warp.BlockOnMem(now);
+    ldst_.Enqueue(std::move(op));
+    committed_mem_insns += cfg_.core.warp_size;
+  } else if (insn.op == OpClass::kSfu) {
+    warp.AdvanceIssue(now);
+    warp.BusyFor(now, cfg_.core.sfu_latency);
+  } else {
+    warp.AdvanceIssue(now);  // ALU: fully pipelined
+  }
+
+  sched.OnIssued(w);
+  ++issued_warp_insns;
+  committed_thread_insns += cfg_.core.warp_size;
+}
+
+void SmCore::DrainOutgoing(Crossbar& icnt) {
+  while (l1d_->HasOutgoing() && icnt.CanInjectFromCore(id_)) {
+    const L1DOutgoing out = l1d_->PopOutgoing();
+    IcntPacket pkt;
+    pkt.addr = out.block * cfg_.l1d.geom.line_bytes;
+    pkt.src = id_;
+    pkt.dst = cfg_.PartitionOf(pkt.addr);
+    pkt.no_fill = out.no_fill;
+    pkt.token = out.token;
+    pkt.pc = out.pc;
+    if (out.write) {
+      pkt.kind = IcntPacket::Kind::kWrite;
+      pkt.bytes = out.payload_bytes + cfg_.icnt.control_overhead;
+    } else {
+      pkt.kind = IcntPacket::Kind::kReadRequest;
+      pkt.bytes = cfg_.icnt.request_size;
+    }
+    icnt.InjectFromCore(id_, pkt);
+  }
+}
+
+void SmCore::InjectBackgroundTraffic(Crossbar& icnt) {
+  if (cfg_.other_traffic_per_insns == 0) return;
+  while (other_traffic_credit_ >=
+         cfg_.other_traffic_per_insns * cfg_.core.warp_size) {
+    if (!icnt.CanInjectFromCore(id_)) return;  // keep the credit, retry
+    IcntPacket pkt;
+    pkt.kind = IcntPacket::Kind::kOther;
+    pkt.addr = 0;
+    pkt.src = id_;
+    pkt.dst = static_cast<std::uint32_t>((id_ + other_traffic_rr_++) %
+                                         cfg_.num_partitions);
+    pkt.bytes = cfg_.other_traffic_bytes;
+    icnt.InjectFromCore(id_, pkt);
+    other_traffic_credit_ -=
+        cfg_.other_traffic_per_insns * cfg_.core.warp_size;
+  }
+}
+
+void SmCore::TickCore(Cycle now, Crossbar& icnt) {
+  AcceptResponses(now, icnt);
+  ldst_.Tick(now, warps_);
+
+  const std::uint64_t committed_before = committed_thread_insns;
+  bool any_issued = false;
+  for (WarpScheduler& sched : schedulers_) {
+    const std::uint64_t before = issued_warp_insns;
+    IssueFrom(sched, now);
+    any_issued |= issued_warp_insns != before;
+  }
+  if (!any_issued && !Finished()) ++issue_idle_cycles;
+  other_traffic_credit_ += committed_thread_insns - committed_before;
+
+  DrainOutgoing(icnt);
+  InjectBackgroundTraffic(icnt);
+}
+
+bool SmCore::Finished() const {
+  for (const Warp& w : warps_) {
+    if (!w.Finished()) return false;
+  }
+  return true;
+}
+
+bool SmCore::Drained() const {
+  if (!Finished() || !ldst_.Idle() || l1d_->HasOutgoing()) return false;
+  for (const Warp& w : warps_) {
+    if (!w.Quiescent()) return false;
+  }
+  return true;
+}
+
+}  // namespace dlpsim

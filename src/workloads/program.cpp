@@ -1,0 +1,69 @@
+#include "workloads/program.h"
+
+#include <cassert>
+
+namespace dlpsim {
+
+void Program::AddAlu(std::uint32_t count) {
+  if (count == 0) return;
+  body_.push_back(Instruction{OpClass::kAlu, next_pc_, count, nullptr});
+  next_pc_ += count;
+}
+
+void Program::AddSfu(std::uint32_t count) {
+  if (count == 0) return;
+  body_.push_back(Instruction{OpClass::kSfu, next_pc_, count, nullptr});
+  next_pc_ += count;
+}
+
+Pc Program::AddMem(OpClass op, std::unique_ptr<AccessPattern> pattern) {
+  assert(pattern != nullptr);
+  const Pc pc = next_pc_++;
+  body_.push_back(Instruction{op, pc, 1, pattern.get()});
+  patterns_.push_back(std::move(pattern));
+  return pc;
+}
+
+Pc Program::AddLoad(std::unique_ptr<AccessPattern> pattern) {
+  return AddMem(OpClass::kLoad, std::move(pattern));
+}
+
+Pc Program::AddStore(std::unique_ptr<AccessPattern> pattern) {
+  return AddMem(OpClass::kStore, std::move(pattern));
+}
+
+std::uint64_t Program::IssuesPerIteration() const {
+  std::uint64_t n = 0;
+  for (const Instruction& i : body_) n += i.count;
+  return n;
+}
+
+std::uint64_t Program::MemOpsPerIteration() const {
+  std::uint64_t n = 0;
+  for (const Instruction& i : body_) {
+    if (i.op == OpClass::kLoad || i.op == OpClass::kStore) n += i.count;
+  }
+  return n;
+}
+
+std::uint64_t Program::ThreadInstructionsPerWarp(
+    std::uint32_t warp_size) const {
+  return IssuesPerIteration() * iterations_ * warp_size;
+}
+
+double Program::MemoryAccessRatio() const {
+  const std::uint64_t issues = IssuesPerIteration();
+  return issues == 0 ? 0.0
+                     : static_cast<double>(MemOpsPerIteration()) /
+                           static_cast<double>(issues);
+}
+
+std::uint32_t Program::NumMemoryPcs() const {
+  std::uint32_t n = 0;
+  for (const Instruction& i : body_) {
+    if (i.op == OpClass::kLoad || i.op == OpClass::kStore) ++n;
+  }
+  return n;
+}
+
+}  // namespace dlpsim

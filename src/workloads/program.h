@@ -1,0 +1,77 @@
+// The kernel abstraction executed by SM warps.
+//
+// A Program is a short instruction body executed `iterations` times per
+// warp. ALU work is run-length compressed (`count` back-to-back issues)
+// so that compute-heavy (Cache Sufficient) kernels simulate quickly while
+// preserving exact instruction counts for IPC and memory-access-ratio
+// accounting. Memory instructions reference an AccessPattern and a PC;
+// the PC is what DLP's PDPT keys on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "workloads/patterns.h"
+
+namespace dlpsim {
+
+enum class OpClass : std::uint8_t {
+  kAlu,   // fully pipelined; one issue slot per `count`
+  kSfu,   // issue + warp busy for the SFU latency
+  kLoad,
+  kStore,
+};
+
+struct Instruction {
+  OpClass op = OpClass::kAlu;
+  Pc pc = 0;
+  std::uint32_t count = 1;  // ALU/SFU run length; 1 for memory ops
+  const AccessPattern* pattern = nullptr;  // memory ops only
+};
+
+class Program {
+ public:
+  Program() = default;
+
+  // Move-only (owns its patterns).
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  /// Appends `count` ALU issues at the next PC.
+  void AddAlu(std::uint32_t count);
+  void AddSfu(std::uint32_t count);
+
+  /// Appends a load/store through `pattern` (ownership taken).
+  Pc AddLoad(std::unique_ptr<AccessPattern> pattern);
+  Pc AddStore(std::unique_ptr<AccessPattern> pattern);
+
+  void set_iterations(std::uint32_t iters) { iterations_ = iters; }
+  std::uint32_t iterations() const { return iterations_; }
+
+  const std::vector<Instruction>& body() const { return body_; }
+
+  /// Warp-level issue slots per iteration (sum of counts).
+  std::uint64_t IssuesPerIteration() const;
+  /// Memory instructions per iteration.
+  std::uint64_t MemOpsPerIteration() const;
+  /// Thread-level instructions one warp commits over its whole life.
+  std::uint64_t ThreadInstructionsPerWarp(std::uint32_t warp_size) const;
+  /// Static memory-access ratio N_mem / N_insn (paper §3.2).
+  double MemoryAccessRatio() const;
+
+  /// Number of distinct memory PCs (must stay <= 128 for the PDPT).
+  std::uint32_t NumMemoryPcs() const;
+
+ private:
+  Pc AddMem(OpClass op, std::unique_ptr<AccessPattern> pattern);
+
+  std::vector<Instruction> body_;
+  std::vector<std::unique_ptr<AccessPattern>> patterns_;
+  std::uint32_t iterations_ = 1;
+  Pc next_pc_ = 0;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,91 @@
+#include "analysis/per_sm_profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(PerSmProfiler, MergesAcrossSms) {
+  PerSmProfiler prof(2, 4);
+  // SM0 sees a reuse at distance 1; SM1 at distance 7. A shared profiler
+  // would interleave these streams; per-SM ones must not.
+  auto* o0 = &prof.rd(0);
+  auto* o1 = &prof.rd(1);
+  (void)o0;
+  (void)o1;
+  // Feed through the composite observers the same way the caches do.
+  // (Access the composites indirectly: attach is tested in the gpu
+  // integration suite; here we drive the profilers directly.)
+  PerSmProfiler p(2, 4);
+  const_cast<RdProfiler&>(p.rd(0)).OnAccess(0, 1, 0, AccessType::kLoad,
+                                            false);
+  const_cast<RdProfiler&>(p.rd(0)).OnAccess(0, 1, 0, AccessType::kLoad,
+                                            true);
+  const_cast<RdProfiler&>(p.rd(1)).OnAccess(0, 9, 0, AccessType::kLoad,
+                                            false);
+  for (Addr b = 100; b < 106; ++b) {
+    const_cast<RdProfiler&>(p.rd(1)).OnAccess(0, b, 0, AccessType::kLoad,
+                                              false);
+  }
+  const_cast<RdProfiler&>(p.rd(1)).OnAccess(0, 9, 0, AccessType::kLoad,
+                                            false);
+
+  const RddHistogram merged = p.GlobalRdd();
+  EXPECT_EQ(merged.total(), 2u);
+  EXPECT_EQ(merged.buckets[0], 1u);  // SM0's rd = 1
+  EXPECT_EQ(merged.buckets[1], 1u);  // SM1's rd = 7
+  EXPECT_EQ(p.accesses(), 10u);
+}
+
+TEST(PerSmProfiler, ReuseCountersSum) {
+  PerSmProfiler p(2, 4);
+  const_cast<ReuseMissTracker&>(p.reuse(0)).OnAccess(0, 1, 0,
+                                                     AccessType::kLoad, false);
+  const_cast<ReuseMissTracker&>(p.reuse(0)).OnAccess(0, 1, 0,
+                                                     AccessType::kLoad, false);
+  const_cast<ReuseMissTracker&>(p.reuse(1)).OnAccess(0, 1, 0,
+                                                     AccessType::kLoad, false);
+  const_cast<ReuseMissTracker&>(p.reuse(1)).OnAccess(0, 1, 0,
+                                                     AccessType::kLoad, true);
+  EXPECT_EQ(p.compulsory_accesses(), 2u);  // one first-touch per SM
+  EXPECT_EQ(p.reuse_accesses(), 2u);
+  EXPECT_EQ(p.reuse_misses(), 1u);
+  EXPECT_DOUBLE_EQ(p.reuse_miss_rate(), 0.5);
+}
+
+TEST(PerSmProfiler, PerPcMergeAddsHistograms) {
+  PerSmProfiler p(2, 4);
+  for (std::uint32_t sm = 0; sm < 2; ++sm) {
+    const_cast<RdProfiler&>(p.rd(sm)).OnAccess(0, 1, /*pc=*/7,
+                                               AccessType::kLoad, false);
+    const_cast<RdProfiler&>(p.rd(sm)).OnAccess(0, 1, /*pc=*/7,
+                                               AccessType::kLoad, true);
+  }
+  const auto per_pc = p.PerPcRdd();
+  ASSERT_EQ(per_pc.count(7), 1u);
+  EXPECT_EQ(per_pc.at(7).total(), 2u);
+}
+
+TEST(CacheStatsRegistry, RegistersAllCounters) {
+  CacheStats stats;
+  stats.accesses = 3;
+  stats.bypasses = 1;
+  StatRegistry reg;
+  stats.RegisterAll(reg, "l1d");
+  EXPECT_EQ(reg.Get("l1d.accesses"), 3u);
+  EXPECT_EQ(reg.Get("l1d.bypasses"), 1u);
+  EXPECT_GE(reg.Names().size(), 14u);
+  stats.accesses = 10;  // live pointer semantics
+  EXPECT_EQ(reg.Get("l1d.accesses"), 10u);
+}
+
+TEST(CacheStatsRegistry, CrossbarStatsRegister) {
+  Crossbar xbar(IcntConfig{}, 1, 1);
+  StatRegistry reg;
+  xbar.RegisterStats(reg, "icnt");
+  EXPECT_TRUE(reg.Has("icnt.bytes_l1d"));
+  EXPECT_TRUE(reg.Has("icnt.packets_delivered"));
+}
+
+}  // namespace
+}  // namespace dlpsim

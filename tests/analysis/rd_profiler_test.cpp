@@ -1,0 +1,120 @@
+#include "analysis/rd_profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+void Touch(RdProfiler& p, std::uint32_t set, Addr block, Pc pc = 0) {
+  p.OnAccess(set, block, pc, AccessType::kLoad, false);
+}
+
+TEST(RdBucket, PaperRanges) {
+  EXPECT_EQ(RdBucket(1), 0u);
+  EXPECT_EQ(RdBucket(4), 0u);
+  EXPECT_EQ(RdBucket(5), 1u);
+  EXPECT_EQ(RdBucket(8), 1u);
+  EXPECT_EQ(RdBucket(9), 2u);
+  EXPECT_EQ(RdBucket(64), 2u);
+  EXPECT_EQ(RdBucket(65), 3u);
+  EXPECT_EQ(RdBucket(100000), 3u);
+}
+
+TEST(RdProfiler, Figure2Example) {
+  // Paper Fig. 2: accesses Addr0, Addr1, Addr2, Addr0 to one set give
+  // Addr0 a reuse distance of 3.
+  RdProfiler p(1);
+  Touch(p, 0, 0);
+  Touch(p, 0, 1);
+  Touch(p, 0, 2);
+  Touch(p, 0, 0);
+  EXPECT_EQ(p.re_references(), 1u);
+  EXPECT_EQ(p.global().buckets[0], 1u);  // rd = 3 -> bucket "1~4"
+}
+
+TEST(RdProfiler, BackToBackReuseIsDistanceOne) {
+  RdProfiler p(1);
+  Touch(p, 0, 7);
+  Touch(p, 0, 7);
+  EXPECT_EQ(p.global().buckets[0], 1u);
+  EXPECT_EQ(p.re_references(), 1u);
+}
+
+TEST(RdProfiler, FirstTouchesAreNotReReferences) {
+  RdProfiler p(2);
+  for (Addr b = 0; b < 10; ++b) Touch(p, 0, b);
+  EXPECT_EQ(p.re_references(), 0u);
+  EXPECT_EQ(p.accesses(), 10u);
+}
+
+TEST(RdProfiler, SetsAreIndependentStreams) {
+  RdProfiler p(2);
+  Touch(p, 0, 5);
+  // 100 accesses to set 1 must not affect set 0's distances.
+  for (Addr b = 0; b < 100; ++b) Touch(p, 1, 1000 + b);
+  Touch(p, 0, 5);
+  EXPECT_EQ(p.global().buckets[0], 1u);  // rd = 1 within set 0
+}
+
+TEST(RdProfiler, LongDistancesLandInTopBucket) {
+  RdProfiler p(1);
+  Touch(p, 0, 42);
+  for (Addr b = 0; b < 70; ++b) Touch(p, 0, 100 + b);
+  Touch(p, 0, 42);
+  EXPECT_EQ(p.global().buckets[3], 1u);  // rd = 71
+}
+
+TEST(RdProfiler, DistanceAttributedToReReferencingPc) {
+  RdProfiler p(1);
+  Touch(p, 0, 1, /*pc=*/10);  // brought in by PC 10
+  Touch(p, 0, 2, 99);
+  Touch(p, 0, 1, /*pc=*/20);  // re-referenced by PC 20
+  const auto& per_pc = p.per_pc();
+  EXPECT_EQ(per_pc.count(10), 0u);
+  ASSERT_EQ(per_pc.count(20), 1u);
+  EXPECT_EQ(per_pc.at(20).total(), 1u);
+}
+
+TEST(RdProfiler, ConsecutiveReusesMeasureEachInterval) {
+  RdProfiler p(1);
+  Touch(p, 0, 1);
+  Touch(p, 0, 2);
+  Touch(p, 0, 1);  // rd 2
+  Touch(p, 0, 1);  // rd 1
+  EXPECT_EQ(p.global().total(), 2u);
+  EXPECT_EQ(p.global().buckets[0], 2u);
+}
+
+TEST(RdProfiler, ResetClears) {
+  RdProfiler p(1);
+  Touch(p, 0, 1);
+  Touch(p, 0, 1);
+  p.Reset();
+  EXPECT_EQ(p.accesses(), 0u);
+  EXPECT_EQ(p.re_references(), 0u);
+  Touch(p, 0, 1);
+  EXPECT_EQ(p.re_references(), 0u);  // history gone: first touch again
+}
+
+TEST(RddHistogram, FractionsAndMerge) {
+  RddHistogram a;
+  a.Add(1);
+  a.Add(6);
+  a.Add(10);
+  a.Add(100);
+  EXPECT_DOUBLE_EQ(a.fraction(0), 0.25);
+  RddHistogram b;
+  b.Add(2);
+  b.Merge(a);
+  EXPECT_EQ(b.total(), 5u);
+  EXPECT_EQ(b.buckets[0], 2u);
+}
+
+TEST(RddHistogram, EmptyFractionIsZero) {
+  RddHistogram h;
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+}  // namespace
+}  // namespace dlpsim

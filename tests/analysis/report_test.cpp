@@ -1,0 +1,56 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(GeoMean, BasicProperties) {
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeoMean({2.0}), 2.0);
+  EXPECT_NEAR(GeoMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(GeoMean, SkipsNonPositive) {
+  EXPECT_NEAR(GeoMean({0.0, 4.0, 1.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeoMean({-3.0, 9.0, 1.0}), 3.0, 1e-12);
+}
+
+TEST(GeoMean, BelowOneValuesWork) {
+  EXPECT_NEAR(GeoMean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // All data lines have the same width (aligned).
+  std::size_t header_end = out.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Fmt(1.0, 3), "1.000");
+  EXPECT_EQ(Fmt(0.5, 0), "0");  // rounds to even
+}
+
+TEST(Pct, Formatting) {
+  EXPECT_EQ(Pct(0.5), "50.0%");
+  EXPECT_EQ(Pct(0.437, 1), "43.7%");
+  EXPECT_EQ(Pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace dlpsim

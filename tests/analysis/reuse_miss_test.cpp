@@ -1,0 +1,65 @@
+#include "analysis/reuse_miss.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+void Access(ReuseMissTracker& t, std::uint32_t set, Addr block, bool hit) {
+  t.OnAccess(set, block, 0, AccessType::kLoad, hit);
+}
+
+TEST(ReuseMissTracker, CompulsoryMissesExcluded) {
+  // Paper Fig. 4 excludes compulsory misses "as by definition these
+  // accesses will always miss regardless of the L1D cache size".
+  ReuseMissTracker t(1);
+  Access(t, 0, 1, false);  // compulsory
+  Access(t, 0, 2, false);  // compulsory
+  EXPECT_EQ(t.reuse_accesses(), 0u);
+  EXPECT_EQ(t.compulsory_accesses(), 2u);
+  EXPECT_DOUBLE_EQ(t.reuse_miss_rate(), 0.0);
+}
+
+TEST(ReuseMissTracker, ReuseMissesCounted) {
+  ReuseMissTracker t(1);
+  Access(t, 0, 1, false);
+  Access(t, 0, 1, false);  // reuse, missed (was evicted)
+  Access(t, 0, 1, true);   // reuse, hit
+  EXPECT_EQ(t.reuse_accesses(), 2u);
+  EXPECT_EQ(t.reuse_misses(), 1u);
+  EXPECT_DOUBLE_EQ(t.reuse_miss_rate(), 0.5);
+}
+
+TEST(ReuseMissTracker, PerSetFirstTouch) {
+  // The same block in a different set is a separate compulsory miss.
+  ReuseMissTracker t(2);
+  Access(t, 0, 1, false);
+  Access(t, 1, 1, false);
+  EXPECT_EQ(t.compulsory_accesses(), 2u);
+  EXPECT_EQ(t.reuse_accesses(), 0u);
+}
+
+TEST(ReuseMissTracker, ResetClearsHistory) {
+  ReuseMissTracker t(1);
+  Access(t, 0, 1, false);
+  Access(t, 0, 1, false);
+  t.Reset();
+  EXPECT_EQ(t.reuse_accesses(), 0u);
+  Access(t, 0, 1, false);
+  EXPECT_EQ(t.compulsory_accesses(), 1u);
+}
+
+TEST(CompositeObserver, FansOut) {
+  ReuseMissTracker a(1);
+  ReuseMissTracker b(1);
+  CompositeObserver c;
+  c.Add(&a);
+  c.Add(&b);
+  c.OnAccess(0, 1, 0, AccessType::kLoad, false);
+  c.OnAccess(0, 1, 0, AccessType::kLoad, true);
+  EXPECT_EQ(a.reuse_accesses(), 1u);
+  EXPECT_EQ(b.reuse_accesses(), 1u);
+}
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,63 @@
+#include "harness.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim::bench {
+namespace {
+
+TEST(Harness, ConfigNamesResolve) {
+  for (const std::string& name : ConfigNames()) {
+    const SimConfig cfg = ConfigFor(name);
+    EXPECT_EQ(cfg.num_cores, 16u) << name;
+  }
+  EXPECT_THROW(ConfigFor("bogus"), std::out_of_range);
+}
+
+TEST(Harness, ConfigSemantics) {
+  EXPECT_EQ(ConfigFor("base").l1d.policy, PolicyKind::kBaseline);
+  EXPECT_EQ(ConfigFor("sb").l1d.policy, PolicyKind::kStallBypass);
+  EXPECT_EQ(ConfigFor("gp").l1d.policy, PolicyKind::kGlobalProtection);
+  EXPECT_EQ(ConfigFor("dlp").l1d.policy, PolicyKind::kDlp);
+  EXPECT_EQ(ConfigFor("32kb").l1d.geom.ways, 8u);
+  EXPECT_EQ(ConfigFor("64kb").l1d.geom.ways, 16u);
+}
+
+TEST(Harness, ProfileResultRoundTrip) {
+  ProfileResult r;
+  r.global.buckets = {1, 2, 3, 4};
+  r.reuse_accesses = 100;
+  r.reuse_misses = 40;
+  r.compulsory = 7;
+  RddHistogram h;
+  h.buckets = {5, 6, 7, 8};
+  r.per_pc[42] = h;
+  r.per_pc[7] = h;
+
+  bool ok = false;
+  const ProfileResult back = ProfileResult::FromText(r.ToText(), &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(back.ToText(), r.ToText());
+  EXPECT_EQ(back.global.buckets[3], 4u);
+  EXPECT_EQ(back.per_pc.size(), 2u);
+  EXPECT_EQ(back.per_pc.at(42).buckets[0], 5u);
+  EXPECT_DOUBLE_EQ(back.reuse_miss_rate(), 0.4);
+}
+
+TEST(Harness, ProfileFromGarbageFails) {
+  bool ok = true;
+  ProfileResult::FromText("nope", &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Harness, NormalizeGuardsZero) {
+  EXPECT_DOUBLE_EQ(Normalize(5.0, 2.0), 2.5);
+  EXPECT_DOUBLE_EQ(Normalize(5.0, 0.0), 0.0);
+}
+
+TEST(Harness, ScaleDefaultsToOne) {
+  // (Unless the environment overrides it -- accept any positive value.)
+  EXPECT_GT(Scale(), 0.0);
+}
+
+}  // namespace
+}  // namespace dlpsim::bench

@@ -1,0 +1,77 @@
+#include "cache/mshr.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(Mshr, AllocateAndRetire) {
+  MshrTable mshr(4, 2);
+  EXPECT_TRUE(mshr.CanAllocate());
+  EXPECT_FALSE(mshr.HasEntry(10));
+  mshr.Allocate(10, 111);
+  EXPECT_TRUE(mshr.HasEntry(10));
+  EXPECT_EQ(mshr.size(), 1u);
+  const auto tokens = mshr.Retire(10);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], 111u);
+  EXPECT_FALSE(mshr.HasEntry(10));
+  EXPECT_EQ(mshr.size(), 0u);
+}
+
+TEST(Mshr, MergePreservesOrder) {
+  MshrTable mshr(4, 4);
+  mshr.Allocate(10, 1);
+  EXPECT_TRUE(mshr.CanMerge(10));
+  mshr.Merge(10, 2);
+  mshr.Merge(10, 3);
+  const auto tokens = mshr.Retire(10);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], 1u);
+  EXPECT_EQ(tokens[1], 2u);
+  EXPECT_EQ(tokens[2], 3u);
+}
+
+TEST(Mshr, MergeLimitEnforced) {
+  MshrTable mshr(4, 2);
+  mshr.Allocate(10, 1);
+  mshr.Merge(10, 2);
+  EXPECT_FALSE(mshr.CanMerge(10));  // at the 2-target limit
+  EXPECT_EQ(mshr.TargetCount(10), 2u);
+}
+
+TEST(Mshr, CannotMergeAbsentBlock) {
+  MshrTable mshr(4, 2);
+  EXPECT_FALSE(mshr.CanMerge(77));
+}
+
+TEST(Mshr, CapacityLimit) {
+  MshrTable mshr(2, 2);
+  mshr.Allocate(1, 0);
+  mshr.Allocate(2, 0);
+  EXPECT_TRUE(mshr.Full());
+  EXPECT_FALSE(mshr.CanAllocate());
+  // Merging into existing entries is still possible when full.
+  EXPECT_TRUE(mshr.CanMerge(1));
+  mshr.Retire(1);
+  EXPECT_TRUE(mshr.CanAllocate());
+}
+
+TEST(Mshr, RetireUnknownBlockIsEmpty) {
+  MshrTable mshr(2, 2);
+  EXPECT_TRUE(mshr.Retire(123).empty());
+}
+
+TEST(Mshr, IndependentEntries) {
+  MshrTable mshr(4, 2);
+  mshr.Allocate(1, 10);
+  mshr.Allocate(2, 20);
+  mshr.Merge(1, 11);
+  EXPECT_EQ(mshr.TargetCount(1), 2u);
+  EXPECT_EQ(mshr.TargetCount(2), 1u);
+  EXPECT_EQ(mshr.Retire(2).size(), 1u);
+  EXPECT_EQ(mshr.TargetCount(1), 2u);
+}
+
+}  // namespace
+}  // namespace dlpsim

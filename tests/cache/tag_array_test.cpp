@@ -1,0 +1,175 @@
+#include "cache/tag_array.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dlpsim {
+namespace {
+
+CacheGeometry SmallGeom() {
+  CacheGeometry g;
+  g.sets = 4;
+  g.ways = 2;
+  g.line_bytes = 128;
+  g.index = IndexFunction::kLinear;
+  return g;
+}
+
+TEST(TagArray, BlockAndSetMappingLinear) {
+  TagArray tda(SmallGeom());
+  EXPECT_EQ(tda.BlockOf(0), 0u);
+  EXPECT_EQ(tda.BlockOf(127), 0u);
+  EXPECT_EQ(tda.BlockOf(128), 1u);
+  EXPECT_EQ(tda.SetOf(0), 0u);
+  EXPECT_EQ(tda.SetOf(128), 1u);
+  EXPECT_EQ(tda.SetOf(4 * 128), 0u);  // wraps at 4 sets
+}
+
+TEST(TagArray, HashIndexCoversAllSetsForPowerOfTwoStrides) {
+  CacheGeometry g;
+  g.sets = 32;
+  g.ways = 4;
+  g.index = IndexFunction::kHash;
+  TagArray tda(g);
+  // A stride of exactly `sets` lines would alias to one set under linear
+  // indexing; the hash must spread it.
+  std::set<std::uint32_t> seen;
+  for (Addr block = 0; block < 64; ++block) {
+    seen.insert(tda.SetOfBlock(block * 32));
+  }
+  EXPECT_GT(seen.size(), 8u);
+}
+
+TEST(TagArray, HashIndexIsDeterministic) {
+  CacheGeometry g;
+  g.sets = 32;
+  g.ways = 4;
+  g.index = IndexFunction::kHash;
+  TagArray a(g);
+  TagArray b(g);
+  for (Addr block = 0; block < 1000; ++block) {
+    EXPECT_EQ(a.SetOfBlock(block), b.SetOfBlock(block));
+    EXPECT_LT(a.SetOfBlock(block), 32u);
+  }
+}
+
+TEST(TagArray, ProbeFindsReservedAndFilled) {
+  TagArray tda(SmallGeom());
+  EXPECT_EQ(tda.Probe(0, 42), kInvalidIndex);
+  tda.Reserve(0, 1, 42, /*pc=*/7);
+  EXPECT_EQ(tda.Probe(0, 42), 1u);
+  EXPECT_EQ(tda.At(0, 1).state, LineState::kReserved);
+  EXPECT_TRUE(tda.Fill(0, 42));
+  EXPECT_EQ(tda.Probe(0, 42), 1u);
+  EXPECT_EQ(tda.At(0, 1).state, LineState::kValid);
+}
+
+TEST(TagArray, FillRequiresReservation) {
+  TagArray tda(SmallGeom());
+  EXPECT_FALSE(tda.Fill(0, 99));  // nothing reserved
+  tda.Reserve(0, 0, 99, 0);
+  EXPECT_TRUE(tda.Fill(0, 99));
+  EXPECT_FALSE(tda.Fill(0, 99));  // already valid
+}
+
+TEST(TagArray, ReserveReturnsPreviousContents) {
+  TagArray tda(SmallGeom());
+  tda.Reserve(1, 0, 10, 3);
+  tda.Fill(1, 10);
+  const CacheLine prev = tda.Reserve(1, 0, 20, 4);
+  EXPECT_EQ(prev.block, 10u);
+  EXPECT_EQ(prev.state, LineState::kValid);
+  EXPECT_EQ(tda.At(1, 0).block, 20u);
+  EXPECT_EQ(tda.At(1, 0).state, LineState::kReserved);
+  EXPECT_EQ(tda.At(1, 0).src_pc, 4u);
+}
+
+TEST(TagArray, ReserveClearsDlpFields) {
+  TagArray tda(SmallGeom());
+  tda.Reserve(0, 0, 1, 0);
+  tda.At(0, 0).protected_life = 9;
+  tda.At(0, 0).insn_id = 5;
+  tda.Reserve(0, 0, 2, 0);
+  EXPECT_EQ(tda.At(0, 0).protected_life, 0u);
+  EXPECT_EQ(tda.At(0, 0).insn_id, 0u);
+}
+
+TEST(TagArray, LruPrefersInvalidThenOldest) {
+  TagArray tda(SmallGeom());
+  const auto any = [](const CacheLine&) { return true; };
+  // Empty set: first invalid way wins.
+  EXPECT_EQ(tda.LruWayWhere(0, any), 0u);
+  tda.Reserve(0, 0, 1, 0);
+  tda.Fill(0, 1);
+  EXPECT_EQ(tda.LruWayWhere(0, any), 1u);  // way 1 still invalid
+  tda.Reserve(0, 1, 2, 0);
+  tda.Fill(0, 2);
+  // Both valid; way 0 was used first -> LRU.
+  EXPECT_EQ(tda.LruWayWhere(0, any), 0u);
+  tda.Touch(0, 0);
+  EXPECT_EQ(tda.LruWayWhere(0, any), 1u);
+}
+
+TEST(TagArray, LruSkipsReservedLines) {
+  TagArray tda(SmallGeom());
+  tda.Reserve(0, 0, 1, 0);  // still RESERVED
+  tda.Reserve(0, 1, 2, 0);
+  tda.Fill(0, 2);
+  const auto any = [](const CacheLine&) { return true; };
+  EXPECT_EQ(tda.LruWayWhere(0, any), 1u);  // way 0 is reserved
+}
+
+TEST(TagArray, LruRespectsPredicate) {
+  TagArray tda(SmallGeom());
+  tda.Reserve(0, 0, 1, 0);
+  tda.Fill(0, 1);
+  tda.Reserve(0, 1, 2, 0);
+  tda.Fill(0, 2);
+  tda.At(0, 0).protected_life = 3;
+  const auto unprotected = [](const CacheLine& l) {
+    return l.protected_life == 0;
+  };
+  EXPECT_EQ(tda.LruWayWhere(0, unprotected), 1u);
+  tda.At(0, 1).protected_life = 1;
+  EXPECT_EQ(tda.LruWayWhere(0, unprotected), kInvalidIndex);
+}
+
+TEST(TagArray, InvalidateReturnsPrevious) {
+  TagArray tda(SmallGeom());
+  tda.Reserve(2, 0, 5, 0);
+  tda.Fill(2, 5);
+  const CacheLine prev = tda.Invalidate(2, 0);
+  EXPECT_EQ(prev.block, 5u);
+  EXPECT_EQ(tda.At(2, 0).state, LineState::kInvalid);
+  EXPECT_EQ(tda.Probe(2, 5), kInvalidIndex);
+}
+
+TEST(TagArrayGeometry, SizeArithmetic) {
+  CacheGeometry g;  // defaults: 32 sets, 4 ways, 128B
+  EXPECT_EQ(g.num_lines(), 128u);
+  EXPECT_EQ(g.size_bytes(), 16384u);
+}
+
+class TagArrayIndexParam
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(TagArrayIndexParam, AllBlocksMapInRange) {
+  const auto [sets, index] = GetParam();
+  CacheGeometry g;
+  g.sets = sets;
+  g.ways = 2;
+  g.index = static_cast<IndexFunction>(index);
+  TagArray tda(g);
+  for (Addr block = 0; block < 10000; block += 7) {
+    EXPECT_LT(tda.SetOfBlock(block), sets);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TagArrayIndexParam,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u, 32u, 64u),
+                       ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,50 @@
+#include "core/overhead.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(Overhead, ReproducesPaperArithmeticExactly) {
+  // Paper §4.3: instruction ID 7b + PL 4b per TDA entry -> 176 bytes;
+  // VTA entries of 32b tag + 7b id -> 624 bytes; PDPT of 128 x
+  // (7+8+10+4)b -> 464 bytes; total 1264 bytes over a 16896-byte
+  // baseline = 7.48%.
+  const L1DConfig cfg = SimConfig::Baseline16KB().l1d;
+  const OverheadReport r = ComputeOverhead(cfg);
+  EXPECT_EQ(r.tda_extra_bytes(), 176u);
+  EXPECT_EQ(r.vta_bytes(), 624u);
+  EXPECT_EQ(r.pdpt_bytes(), 464u);
+  EXPECT_EQ(r.total_extra_bytes(), 1264u);
+  EXPECT_EQ(r.baseline_bytes(), 16896u);
+  EXPECT_NEAR(r.overhead_fraction(), 0.0748, 0.0005);
+}
+
+TEST(Overhead, ScalesWithAssociativity) {
+  const OverheadReport r16 = ComputeOverhead(SimConfig::Baseline16KB().l1d);
+  const OverheadReport r32 = ComputeOverhead(SimConfig::Cache32KB().l1d);
+  // Twice the ways -> twice the TDA/VTA extras; the PDPT is fixed.
+  EXPECT_EQ(r32.tda_extra_bits, 2 * r16.tda_extra_bits);
+  EXPECT_EQ(r32.vta_bits, 2 * r16.vta_bits);
+  EXPECT_EQ(r32.pdpt_bits, r16.pdpt_bits);
+  // Relative overhead shrinks as the data array grows.
+  EXPECT_LT(r32.overhead_fraction(), r16.overhead_fraction());
+}
+
+TEST(Overhead, ExplicitVtaWaysRespected) {
+  L1DConfig cfg = SimConfig::Baseline16KB().l1d;
+  cfg.prot.vta_ways = 8;
+  const OverheadReport r = ComputeOverhead(cfg);
+  // 32 sets x 8 ways x 39 bits.
+  EXPECT_EQ(r.vta_bits, 32ull * 8 * 39);
+}
+
+TEST(Overhead, TextReportMentionsEverything) {
+  const OverheadReport r = ComputeOverhead(SimConfig::Baseline16KB().l1d);
+  const std::string text = r.ToText();
+  EXPECT_NE(text.find("1264"), std::string::npos);
+  EXPECT_NE(text.find("16896"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,91 @@
+#include "core/vta.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(Vta, InsertAndHitConsumes) {
+  VictimTagArray vta(4, 2);
+  vta.Insert(0, 100, 7);
+  EXPECT_TRUE(vta.Contains(0, 100));
+  const auto hit = vta.ProbeAndConsume(0, 100);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.insn_id, 7u);
+  // Consumed: a second probe misses.
+  EXPECT_FALSE(vta.ProbeAndConsume(0, 100).hit);
+  EXPECT_FALSE(vta.Contains(0, 100));
+}
+
+TEST(Vta, MissReturnsNoHit) {
+  VictimTagArray vta(4, 2);
+  EXPECT_FALSE(vta.ProbeAndConsume(0, 5).hit);
+}
+
+TEST(Vta, SetsAreIndependent) {
+  VictimTagArray vta(4, 2);
+  vta.Insert(1, 100, 1);
+  EXPECT_FALSE(vta.Contains(0, 100));
+  EXPECT_TRUE(vta.Contains(1, 100));
+}
+
+TEST(Vta, LruReplacementWithinSet) {
+  VictimTagArray vta(2, 2);
+  vta.Insert(0, 1, 0);
+  vta.Insert(0, 2, 0);
+  EXPECT_EQ(vta.Occupancy(0), 2u);
+  // Third insert displaces the oldest (block 1).
+  vta.Insert(0, 3, 0);
+  EXPECT_FALSE(vta.Contains(0, 1));
+  EXPECT_TRUE(vta.Contains(0, 2));
+  EXPECT_TRUE(vta.Contains(0, 3));
+}
+
+TEST(Vta, ReinsertRefreshesInsteadOfDuplicating) {
+  VictimTagArray vta(2, 2);
+  vta.Insert(0, 1, 5);
+  vta.Insert(0, 2, 0);
+  vta.Insert(0, 1, 9);  // refresh block 1 with a new insn id
+  EXPECT_EQ(vta.Occupancy(0), 2u);
+  // Block 2 is now LRU; a new insert displaces it, not block 1.
+  vta.Insert(0, 3, 0);
+  EXPECT_TRUE(vta.Contains(0, 1));
+  EXPECT_FALSE(vta.Contains(0, 2));
+  EXPECT_EQ(vta.ProbeAndConsume(0, 1).insn_id, 9u);
+}
+
+TEST(Vta, ConsumedEntryFreesSlot) {
+  VictimTagArray vta(2, 2);
+  vta.Insert(0, 1, 0);
+  vta.Insert(0, 2, 0);
+  vta.ProbeAndConsume(0, 1);
+  EXPECT_EQ(vta.Occupancy(0), 1u);
+  vta.Insert(0, 3, 0);  // uses the freed slot
+  EXPECT_TRUE(vta.Contains(0, 2));
+  EXPECT_TRUE(vta.Contains(0, 3));
+}
+
+TEST(Vta, ClearEmptiesEverything) {
+  VictimTagArray vta(4, 4);
+  for (std::uint32_t s = 0; s < 4; ++s) vta.Insert(s, s + 10, 0);
+  vta.Clear();
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(vta.Occupancy(s), 0u);
+    EXPECT_FALSE(vta.Contains(s, s + 10));
+  }
+}
+
+TEST(Vta, PaperGeometryMirrorsTda) {
+  // Paper footnote 2: VTA associativity equals the cache's; §4.1.2: same
+  // number of indexed sets. Baseline: 32 sets x 4 ways.
+  VictimTagArray vta(32, 4);
+  EXPECT_EQ(vta.sets(), 32u);
+  EXPECT_EQ(vta.ways(), 4u);
+  for (std::uint32_t w = 0; w < 4; ++w) vta.Insert(0, w, 0);
+  EXPECT_EQ(vta.Occupancy(0), 4u);
+  vta.Insert(0, 99, 0);
+  EXPECT_EQ(vta.Occupancy(0), 4u);  // bounded by associativity
+}
+
+}  // namespace
+}  // namespace dlpsim

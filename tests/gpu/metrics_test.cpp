@@ -1,0 +1,73 @@
+#include "gpu/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(Metrics, DerivedQuantities) {
+  Metrics m;
+  m.core_cycles = 100;
+  m.committed_thread_insns = 500;
+  m.committed_mem_insns = 50;
+  EXPECT_DOUBLE_EQ(m.ipc(), 5.0);
+  EXPECT_DOUBLE_EQ(m.memory_access_ratio(), 0.1);
+
+  m.l1d_loads = 100;
+  m.l1d_load_hits = 30;
+  m.l1d_bypasses = 40;
+  // Bypassed accesses do not count towards the hit rate (paper Fig. 12a).
+  EXPECT_DOUBLE_EQ(m.l1d_hit_rate(), 0.5);
+
+  m.l1d_accesses = 120;
+  EXPECT_EQ(m.l1d_traffic(), 80u);
+
+  m.load_block_cycles = 1000;
+  m.load_block_events = 4;
+  EXPECT_DOUBLE_EQ(m.avg_load_latency(), 250.0);
+}
+
+TEST(Metrics, ZeroSafeDerived) {
+  const Metrics m;
+  EXPECT_DOUBLE_EQ(m.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(m.memory_access_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.l1d_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_load_latency(), 0.0);
+}
+
+TEST(Metrics, TextRoundTrip) {
+  Metrics m;
+  m.core_cycles = 123;
+  m.committed_thread_insns = 456;
+  m.l1d_bypasses = 7;
+  m.dram_row_misses = 99;
+  m.completed = 1;
+  bool ok = false;
+  const Metrics back = Metrics::FromText(m.ToText(), &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(back.ToText(), m.ToText());
+  EXPECT_EQ(back.core_cycles, 123u);
+  EXPECT_EQ(back.dram_row_misses, 99u);
+}
+
+TEST(Metrics, FromTextRejectsGarbage) {
+  bool ok = true;
+  Metrics::FromText("not a metrics dump", &ok);
+  EXPECT_FALSE(ok);
+  ok = true;
+  Metrics::FromText("core_cycles 5", &ok);  // missing fields
+  EXPECT_FALSE(ok);
+}
+
+TEST(Metrics, FromTextIgnoresUnknownKeys) {
+  Metrics m;
+  m.core_cycles = 9;
+  bool ok = false;
+  const Metrics back =
+      Metrics::FromText(m.ToText() + "future_field 42\n", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(back.core_cycles, 9u);
+}
+
+}  // namespace
+}  // namespace dlpsim

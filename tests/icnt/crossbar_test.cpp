@@ -1,0 +1,155 @@
+#include "icnt/crossbar.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+IcntConfig FastIcnt() {
+  IcntConfig cfg;
+  cfg.latency = 4;
+  cfg.bytes_per_cycle_per_port = 32;
+  return cfg;
+}
+
+IcntPacket ReadReq(std::uint32_t src, std::uint32_t dst, Addr addr = 0) {
+  IcntPacket p;
+  p.kind = IcntPacket::Kind::kReadRequest;
+  p.src = src;
+  p.dst = dst;
+  p.addr = addr;
+  p.bytes = 8;
+  return p;
+}
+
+void TickN(Crossbar& xbar, Cycle& now, int n) {
+  for (int i = 0; i < n; ++i) xbar.Tick(++now);
+}
+
+TEST(Crossbar, DeliversAfterSerializationAndLatency) {
+  Crossbar xbar(FastIcnt(), 2, 2);
+  Cycle now = 0;
+  xbar.InjectFromCore(0, ReadReq(0, 1));
+  EXPECT_FALSE(xbar.HasForPartition(1));
+  // 1 cycle serialization (8B at 32B/cyc) + 4 cycles latency.
+  TickN(xbar, now, 5);
+  EXPECT_TRUE(xbar.HasForPartition(1));
+  const IcntPacket got = xbar.PopForPartition(1);
+  EXPECT_EQ(got.src, 0u);
+}
+
+TEST(Crossbar, LargePacketsSerializeLonger) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  Cycle now = 0;
+  IcntPacket big = ReadReq(0, 0);
+  big.kind = IcntPacket::Kind::kWrite;
+  big.bytes = 136;  // 5 cycles at 32B/cycle
+  xbar.InjectFromCore(0, big);
+  TickN(xbar, now, 5);  // not yet: 5 serialize means flight at t=5
+  EXPECT_FALSE(xbar.HasForPartition(0));
+  TickN(xbar, now, 4);
+  EXPECT_TRUE(xbar.HasForPartition(0));
+}
+
+TEST(Crossbar, PointToPointOrderPreserved) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  Cycle now = 0;
+  for (int i = 0; i < 3; ++i) {
+    xbar.InjectFromCore(0, ReadReq(0, 0, static_cast<Addr>(i)));
+  }
+  TickN(xbar, now, 20);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(xbar.HasForPartition(0));
+    EXPECT_EQ(xbar.PopForPartition(0).addr, static_cast<Addr>(i));
+  }
+}
+
+TEST(Crossbar, ReplyPathIsSeparate) {
+  Crossbar xbar(FastIcnt(), 2, 2);
+  Cycle now = 0;
+  IcntPacket reply;
+  reply.kind = IcntPacket::Kind::kReadReply;
+  reply.src = 1;
+  reply.dst = 0;
+  reply.bytes = 136;
+  xbar.InjectFromPartition(1, reply);
+  TickN(xbar, now, 20);
+  EXPECT_TRUE(xbar.HasForCore(0));
+  EXPECT_FALSE(xbar.HasForPartition(0));
+  EXPECT_EQ(xbar.PopForCore(0).kind, IcntPacket::Kind::kReadReply);
+}
+
+TEST(Crossbar, InjectionBackpressure) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  int injected = 0;
+  while (xbar.CanInjectFromCore(0)) {
+    xbar.InjectFromCore(0, ReadReq(0, 0));
+    ++injected;
+  }
+  EXPECT_EQ(injected, 8);  // inject queue cap
+  Cycle now = 0;
+  TickN(xbar, now, 2);
+  EXPECT_TRUE(xbar.CanInjectFromCore(0));
+}
+
+TEST(Crossbar, DeliveryBackpressureHoldsPacketsInFlight) {
+  Crossbar xbar(FastIcnt(), 4, 1);
+  Cycle now = 0;
+  // Flood one partition from several cores without draining it.
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      if (xbar.CanInjectFromCore(c)) xbar.InjectFromCore(c, ReadReq(c, 0));
+    }
+    xbar.Tick(++now);
+  }
+  TickN(xbar, now, 30);
+  // Delivery queue capacity is 16; nothing is lost, the rest waits.
+  int drained = 0;
+  while (!xbar.Idle()) {
+    while (xbar.HasForPartition(0)) {
+      xbar.PopForPartition(0);
+      ++drained;
+    }
+    xbar.Tick(++now);
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(drained), xbar.packets_delivered);
+  EXPECT_GE(drained, 30);
+}
+
+TEST(Crossbar, ByteAccountingByClass) {
+  Crossbar xbar(FastIcnt(), 2, 2);
+  xbar.InjectFromCore(0, ReadReq(0, 1));  // 8 bytes, l1d
+  IcntPacket other;
+  other.kind = IcntPacket::Kind::kOther;
+  other.src = 0;
+  other.dst = 0;
+  other.bytes = 100;
+  xbar.InjectFromCore(0, other);
+  IcntPacket reply;
+  reply.kind = IcntPacket::Kind::kReadReply;
+  reply.src = 1;
+  reply.dst = 0;
+  reply.bytes = 136;
+  xbar.InjectFromPartition(1, reply);
+
+  EXPECT_EQ(xbar.bytes_core_to_mem, 108u);
+  EXPECT_EQ(xbar.bytes_mem_to_core, 136u);
+  EXPECT_EQ(xbar.bytes_l1d, 144u);
+  EXPECT_EQ(xbar.bytes_other, 100u);
+  EXPECT_EQ(xbar.total_bytes(), 244u);
+}
+
+TEST(Crossbar, IdleTracksAllStages) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  EXPECT_TRUE(xbar.Idle());
+  xbar.InjectFromCore(0, ReadReq(0, 0));
+  EXPECT_FALSE(xbar.Idle());
+  Cycle now = 0;
+  TickN(xbar, now, 10);
+  EXPECT_FALSE(xbar.Idle());  // sits in the delivery queue
+  xbar.PopForPartition(0);
+  EXPECT_TRUE(xbar.Idle());
+}
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,140 @@
+#include "mem/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+DramConfig SmallDram() {
+  DramConfig cfg;
+  cfg.banks = 2;
+  cfg.row_bytes = 512;  // 4 lines per row at 128B
+  cfg.t_row_hit = 10;
+  cfg.t_row_miss = 30;
+  cfg.t_rc = 20;
+  cfg.bus_bytes_per_cycle = 16;  // 8-cycle burst for a 128B line
+  return cfg;
+}
+
+std::vector<DramChannel::Completion> RunUntil(DramChannel& dram,
+                                              std::size_t count,
+                                              Cycle max_cycles = 10000) {
+  std::vector<DramChannel::Completion> done;
+  for (Cycle now = 0; now < max_cycles && done.size() < count; ++now) {
+    for (const auto& c : dram.Tick(now)) done.push_back(c);
+  }
+  return done;
+}
+
+TEST(Dram, BankAndRowMapping) {
+  DramChannel dram(SmallDram(), 128);
+  // 4 lines/row, 2 banks: lines 0-3 bank 0 row 0; 4-7 bank 1 row 0;
+  // 8-11 bank 0 row 1.
+  EXPECT_EQ(dram.BankOf(0), 0u);
+  EXPECT_EQ(dram.BankOf(3), 0u);
+  EXPECT_EQ(dram.BankOf(4), 1u);
+  EXPECT_EQ(dram.BankOf(8), 0u);
+  EXPECT_EQ(dram.RowOf(0), 0u);
+  EXPECT_EQ(dram.RowOf(8), 1u);
+}
+
+TEST(Dram, SingleReadCompletesWithRowMissLatency) {
+  DramChannel dram(SmallDram(), 128);
+  dram.Enqueue({0, false, 7});
+  const auto done = RunUntil(dram, 1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].tag, 7u);
+  EXPECT_FALSE(done[0].write);
+  EXPECT_EQ(dram.row_misses, 1u);
+  EXPECT_EQ(dram.row_hits, 0u);
+}
+
+TEST(Dram, SequentialLinesHitTheOpenRow) {
+  DramChannel dram(SmallDram(), 128);
+  for (Addr b = 0; b < 4; ++b) dram.Enqueue({b, false, b});
+  RunUntil(dram, 4);
+  EXPECT_EQ(dram.row_misses, 1u);  // first access opens the row
+  EXPECT_EQ(dram.row_hits, 3u);
+}
+
+TEST(Dram, AlternatingRowsInOneBankMiss) {
+  DramChannel dram(SmallDram(), 128);
+  // Lines 0 and 8 share bank 0 but different rows.
+  dram.Enqueue({0, false, 0});
+  dram.Enqueue({8, false, 1});
+  dram.Enqueue({0, false, 2});
+  RunUntil(dram, 3);
+  EXPECT_EQ(dram.row_misses, 3u);
+}
+
+TEST(Dram, FirstReadySchedulingSkipsBusyBank) {
+  DramChannel dram(SmallDram(), 128);
+  // Two requests to bank 0 (rows 0, 1) then one to bank 1: the bank-1
+  // request must not wait behind the bank-0 row miss.
+  dram.Enqueue({0, false, 0});
+  dram.Enqueue({8, false, 1});
+  dram.Enqueue({4, false, 2});
+  const auto done = RunUntil(dram, 3);
+  ASSERT_EQ(done.size(), 3u);
+  // The bank-1 request (tag 2) overtakes the second bank-0 one (tag 1).
+  EXPECT_EQ(done[0].tag, 0u);
+  EXPECT_EQ(done[1].tag, 2u);
+  EXPECT_EQ(done[2].tag, 1u);
+}
+
+TEST(Dram, WritesCompleteAndAreCounted) {
+  DramChannel dram(SmallDram(), 128);
+  dram.Enqueue({0, true, 0});
+  const auto done = RunUntil(dram, 1);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].write);
+  EXPECT_EQ(dram.writes, 1u);
+  EXPECT_EQ(dram.reads, 0u);
+}
+
+TEST(Dram, QueueCapacityBounds) {
+  DramChannel dram(SmallDram(), 128);
+  int accepted = 0;
+  while (dram.CanAccept()) {
+    dram.Enqueue({static_cast<Addr>(accepted), false, 0});
+    ++accepted;
+  }
+  EXPECT_EQ(accepted, 32);
+  EXPECT_FALSE(dram.CanAccept());
+  RunUntil(dram, 1);
+  EXPECT_TRUE(dram.CanAccept());
+}
+
+TEST(Dram, BusSerializesBackToBackBursts) {
+  DramChannel dram(SmallDram(), 128);
+  // Row hits in both banks: throughput should be bus-limited, i.e. one
+  // completion per 8 cycles asymptotically.
+  for (int i = 0; i < 8; ++i) {
+    dram.Enqueue({static_cast<Addr>(i % 4), false, 0});        // bank 0
+    if (dram.CanAccept()) {
+      dram.Enqueue({static_cast<Addr>(4 + (i % 4)), false, 0});  // bank 1
+    }
+  }
+  std::size_t total = 0;
+  Cycle last = 0;
+  for (Cycle now = 0; now < 2000 && !dram.Idle(); ++now) {
+    const auto done = dram.Tick(now);
+    total += done.size();
+    if (!done.empty()) last = now;
+  }
+  ASSERT_GE(total, 8u);
+  // 16 transfers x 8-cycle bursts ~ 128 cycles + initial latency.
+  EXPECT_GE(last, 8u * total / 2);
+}
+
+TEST(Dram, IdleReflectsState) {
+  DramChannel dram(SmallDram(), 128);
+  EXPECT_TRUE(dram.Idle());
+  dram.Enqueue({0, false, 0});
+  EXPECT_FALSE(dram.Idle());
+  RunUntil(dram, 1);
+  EXPECT_TRUE(dram.Idle());
+}
+
+}  // namespace
+}  // namespace dlpsim

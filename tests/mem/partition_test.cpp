@@ -1,0 +1,158 @@
+#include "mem/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+SimConfig FastConfig() {
+  SimConfig cfg;
+  cfg.num_partitions = 1;
+  cfg.num_cores = 1;
+  cfg.icnt.latency = 2;
+  cfg.l2.latency = 4;
+  cfg.dram.t_row_hit = 4;
+  cfg.dram.t_row_miss = 8;
+  cfg.dram.t_rc = 6;
+  return cfg;
+}
+
+IcntPacket ReadReq(Addr addr, std::uint32_t src = 0, MshrToken token = 5) {
+  IcntPacket p;
+  p.kind = IcntPacket::Kind::kReadRequest;
+  p.addr = addr;
+  p.src = src;
+  p.dst = 0;
+  p.token = token;
+  return p;
+}
+
+/// Drives partition 0 until a reply lands in the crossbar's core queue.
+bool RunForReply(MemoryPartition& part, Crossbar& icnt, IcntPacket* reply,
+                 Cycle max_cycles = 2000) {
+  for (Cycle now = 1; now <= max_cycles; ++now) {
+    part.Tick(now, icnt);
+    icnt.Tick(now);
+    if (icnt.HasForCore(0)) {
+      *reply = icnt.PopForCore(0);
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(MemoryPartition, ReadMissGoesThroughDramAndReplies) {
+  const SimConfig cfg = FastConfig();
+  Crossbar icnt(cfg.icnt, 1, 1);
+  MemoryPartition part(cfg, 0);
+
+  icnt.InjectFromCore(0, ReadReq(0x1000, 0, 42));
+  // Let the request reach the partition.
+  for (Cycle now = 1; now < 10; ++now) icnt.Tick(now);
+
+  IcntPacket reply;
+  ASSERT_TRUE(RunForReply(part, icnt, &reply));
+  EXPECT_EQ(reply.kind, IcntPacket::Kind::kReadReply);
+  EXPECT_EQ(reply.token, 42u);
+  EXPECT_EQ(reply.addr, 0x1000u);
+  EXPECT_EQ(part.l2().stats().load_misses, 1u);
+  EXPECT_EQ(part.dram().reads, 1u);
+}
+
+TEST(MemoryPartition, SecondReadHitsInL2) {
+  const SimConfig cfg = FastConfig();
+  Crossbar icnt(cfg.icnt, 1, 1);
+  MemoryPartition part(cfg, 0);
+
+  icnt.InjectFromCore(0, ReadReq(0x1000));
+  for (Cycle now = 1; now < 10; ++now) icnt.Tick(now);
+  IcntPacket reply;
+  ASSERT_TRUE(RunForReply(part, icnt, &reply));
+
+  icnt.InjectFromCore(0, ReadReq(0x1000));
+  for (Cycle now = 3000; now < 3010; ++now) icnt.Tick(now);
+  ASSERT_TRUE(RunForReply(part, icnt, &reply));
+  EXPECT_EQ(part.l2().stats().load_hits, 1u);
+  EXPECT_EQ(part.dram().reads, 1u);  // no second DRAM read
+}
+
+TEST(MemoryPartition, WritesAreAbsorbedWithoutReply) {
+  const SimConfig cfg = FastConfig();
+  Crossbar icnt(cfg.icnt, 1, 1);
+  MemoryPartition part(cfg, 0);
+
+  IcntPacket write;
+  write.kind = IcntPacket::Kind::kWrite;
+  write.addr = 0x2000;
+  write.src = 0;
+  write.dst = 0;
+  write.bytes = 136;
+  icnt.InjectFromCore(0, write);
+  for (Cycle now = 1; now < 20; ++now) {
+    icnt.Tick(now);
+    part.Tick(now, icnt);
+  }
+  // Write miss forwards to DRAM; no reply is generated.
+  for (Cycle now = 20; now < 200; ++now) part.Tick(now, icnt);
+  EXPECT_FALSE(icnt.HasForCore(0));
+  EXPECT_EQ(part.dram().writes, 1u);
+}
+
+TEST(MemoryPartition, OtherTrafficIsAbsorbed) {
+  const SimConfig cfg = FastConfig();
+  Crossbar icnt(cfg.icnt, 1, 1);
+  MemoryPartition part(cfg, 0);
+  IcntPacket other;
+  other.kind = IcntPacket::Kind::kOther;
+  other.dst = 0;
+  other.bytes = 100;
+  icnt.InjectFromCore(0, other);
+  for (Cycle now = 1; now < 50; ++now) {
+    icnt.Tick(now);
+    part.Tick(now, icnt);
+  }
+  EXPECT_FALSE(icnt.HasForCore(0));
+  EXPECT_TRUE(part.Idle());
+}
+
+TEST(MemoryPartition, MergedReadsGetIndividualReplies) {
+  const SimConfig cfg = FastConfig();
+  Crossbar icnt(cfg.icnt, 2, 1);
+  MemoryPartition part(cfg, 0);
+
+  icnt.InjectFromCore(0, ReadReq(0x3000, 0, 1));
+  icnt.InjectFromCore(1, ReadReq(0x3000, 1, 2));
+  for (Cycle now = 1; now < 10; ++now) icnt.Tick(now);
+
+  int replies = 0;
+  for (Cycle now = 10; now < 2000 && replies < 2; ++now) {
+    part.Tick(now, icnt);
+    icnt.Tick(now);
+    while (icnt.HasForCore(0)) {
+      icnt.PopForCore(0);
+      ++replies;
+    }
+    while (icnt.HasForCore(1)) {
+      icnt.PopForCore(1);
+      ++replies;
+    }
+  }
+  EXPECT_EQ(replies, 2);
+  EXPECT_EQ(part.dram().reads, 1u);  // one fetch for both
+  EXPECT_EQ(part.l2().stats().mshr_merges, 1u);
+}
+
+TEST(MemoryPartition, IdleWhenDrained) {
+  const SimConfig cfg = FastConfig();
+  Crossbar icnt(cfg.icnt, 1, 1);
+  MemoryPartition part(cfg, 0);
+  EXPECT_TRUE(part.Idle());
+  icnt.InjectFromCore(0, ReadReq(0));
+  for (Cycle now = 1; now < 10; ++now) icnt.Tick(now);
+  IcntPacket reply;
+  ASSERT_TRUE(RunForReply(part, icnt, &reply));
+  EXPECT_TRUE(part.Idle());
+}
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,89 @@
+#include "sim/config.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(SimConfig, BaselineMatchesTable1) {
+  const SimConfig cfg = SimConfig::Baseline16KB();
+  EXPECT_EQ(cfg.num_cores, 16u);
+  EXPECT_EQ(cfg.core.warp_size, 32u);
+  EXPECT_EQ(cfg.core.max_warps, 48u);
+  EXPECT_EQ(cfg.core.num_schedulers, 2u);
+  EXPECT_EQ(cfg.l1d.geom.sets, 32u);
+  EXPECT_EQ(cfg.l1d.geom.ways, 4u);
+  EXPECT_EQ(cfg.l1d.geom.size_bytes(), 16u * 1024u);
+  EXPECT_EQ(cfg.l1d.geom.index, IndexFunction::kHash);
+  EXPECT_EQ(cfg.num_partitions, 12u);
+  EXPECT_EQ(cfg.l2.geom.sets, 64u);
+  EXPECT_EQ(cfg.l2.geom.ways, 8u);
+  EXPECT_EQ(cfg.l2.geom.index, IndexFunction::kLinear);
+  // 768KB total L2 over 12 partitions.
+  EXPECT_EQ(cfg.l2.geom.size_bytes() * cfg.num_partitions, 768u * 1024u);
+  EXPECT_EQ(cfg.dram.banks, 6u);
+  EXPECT_DOUBLE_EQ(cfg.core_mhz, 650.0);
+  EXPECT_DOUBLE_EQ(cfg.icnt_mhz, 650.0);
+  EXPECT_DOUBLE_EQ(cfg.mem_mhz, 924.0);
+}
+
+TEST(SimConfig, Cache32KBDoublesWaysOnly) {
+  const SimConfig cfg = SimConfig::Cache32KB();
+  EXPECT_EQ(cfg.l1d.geom.sets, 32u);
+  EXPECT_EQ(cfg.l1d.geom.ways, 8u);
+  EXPECT_EQ(cfg.l1d.geom.size_bytes(), 32u * 1024u);
+}
+
+TEST(SimConfig, Cache64KBQuadruplesWaysOnly) {
+  const SimConfig cfg = SimConfig::Cache64KB();
+  EXPECT_EQ(cfg.l1d.geom.sets, 32u);
+  EXPECT_EQ(cfg.l1d.geom.ways, 16u);
+  EXPECT_EQ(cfg.l1d.geom.size_bytes(), 64u * 1024u);
+}
+
+TEST(SimConfig, WithPolicySetsOnlyPolicy) {
+  const SimConfig cfg = SimConfig::WithPolicy(PolicyKind::kDlp);
+  EXPECT_EQ(cfg.l1d.policy, PolicyKind::kDlp);
+  EXPECT_EQ(cfg.l1d.geom.size_bytes(), 16u * 1024u);
+}
+
+TEST(SimConfig, ProtectionDefaultsMatchPaper) {
+  const ProtectionConfig prot;
+  EXPECT_EQ(prot.sample_accesses, 200u);   // §4.1.4
+  EXPECT_EQ(prot.pdpt_entries, 128u);      // §4.1.3
+  EXPECT_EQ(prot.insn_id_bits, 7u);        // §4.3
+  EXPECT_EQ(prot.pd_bits, 4u);             // §4.3
+  EXPECT_EQ(prot.pd_max(), 15u);
+  EXPECT_EQ(prot.tda_hit_bits, 8u);        // §4.3
+  EXPECT_EQ(prot.vta_hit_bits, 10u);       // §4.3
+}
+
+TEST(SimConfig, PartitionInterleavingCoversAllPartitions) {
+  const SimConfig cfg;
+  std::vector<int> seen(cfg.num_partitions, 0);
+  for (Addr a = 0; a < 64 * 1024; a += cfg.partition_chunk_bytes) {
+    ++seen[cfg.PartitionOf(a)];
+  }
+  for (std::uint32_t p = 0; p < cfg.num_partitions; ++p) {
+    EXPECT_GT(seen[p], 0) << "partition " << p << " never addressed";
+  }
+}
+
+TEST(SimConfig, PartitionStableWithinChunk) {
+  const SimConfig cfg;
+  const Addr base = 7 * cfg.partition_chunk_bytes;
+  const PartitionId p = cfg.PartitionOf(base);
+  for (Addr off = 0; off < cfg.partition_chunk_bytes; ++off) {
+    EXPECT_EQ(cfg.PartitionOf(base + off), p);
+  }
+}
+
+TEST(PolicyKindNames, AllDistinct) {
+  EXPECT_STREQ(ToString(PolicyKind::kBaseline), "Baseline");
+  EXPECT_STREQ(ToString(PolicyKind::kStallBypass), "Stall-Bypass");
+  EXPECT_STREQ(ToString(PolicyKind::kGlobalProtection), "Global-Protection");
+  EXPECT_STREQ(ToString(PolicyKind::kDlp), "DLP");
+}
+
+}  // namespace
+}  // namespace dlpsim

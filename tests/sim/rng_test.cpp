@@ -1,0 +1,83 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dlpsim {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDispersive) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(SplitMix64(i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions on consecutive inputs
+}
+
+TEST(HashMix, OrderSensitive) {
+  EXPECT_NE(HashMix(1, 2), HashMix(2, 1));
+  EXPECT_EQ(HashMix(42, 7), HashMix(42, 7));
+}
+
+TEST(Rng, ReproducibleFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfSampler, UniformWhenSIsZero) {
+  ZipfSampler z(100, 0.0);
+  std::vector<int> counts(100, 0);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample(rng.NextDouble())];
+  for (int c : counts) EXPECT_GT(c, 500);  // ~1000 expected each
+}
+
+TEST(ZipfSampler, SkewConcentratesOnLowIndices) {
+  ZipfSampler z(1000, 0.9);
+  Rng rng(7);
+  std::uint64_t low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Sample(rng.NextDouble()) < 10) ++low;
+  }
+  // With strong skew the first 1% of items should draw far more than 1%.
+  EXPECT_GT(low, static_cast<std::uint64_t>(0.15 * n));
+}
+
+TEST(ZipfSampler, SamplesAlwaysInRange) {
+  for (double s : {0.0, 0.5, 1.0, 1.3}) {
+    ZipfSampler z(37, s);
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(z.Sample(rng.NextDouble()), 37u);
+    // Boundary values of u.
+    EXPECT_LT(z.Sample(0.0), 37u);
+    EXPECT_LT(z.Sample(0.999999999), 37u);
+  }
+}
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,135 @@
+#include "sm/ldst_unit.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.h"
+
+namespace dlpsim {
+namespace {
+
+class LdStUnitTest : public ::testing::Test {
+ protected:
+  LdStUnitTest() {
+    cfg_.l1d.geom.sets = 2;
+    cfg_.l1d.geom.ways = 2;
+    cfg_.l1d.geom.index = IndexFunction::kLinear;
+    cfg_.l1d.mshr_entries = 4;
+    cfg_.l1d.miss_queue_entries = 8;
+    cache_ = std::make_unique<L1DCache>(cfg_.l1d);
+    unit_ = std::make_unique<LdStUnit>(cfg_.core, cache_.get());
+
+    ProgramBuilder b(10);
+    b.LoadStream().Alu(1);
+    prog_ = b.Build();
+    for (std::uint32_t i = 0; i < 4; ++i) warps_.emplace_back(i, i, prog_.get());
+  }
+
+  WarpMemOp LoadOp(std::uint32_t warp, std::vector<Addr> lines) {
+    WarpMemOp op;
+    op.warp_index = warp;
+    op.pc = 0;
+    op.type = AccessType::kLoad;
+    op.lines = std::move(lines);
+    return op;
+  }
+
+  void FillAll() {
+    std::vector<MshrToken> woken;
+    while (cache_->HasOutgoing()) {
+      const L1DOutgoing out = cache_->PopOutgoing();
+      if (!out.write) {
+        cache_->Fill(L1DResponse{out.block, out.no_fill, out.token}, 0,
+                     woken);
+      }
+    }
+    for (MshrToken t : woken) warps_[t].OnTransactionDone();
+  }
+
+  SimConfig cfg_;
+  std::unique_ptr<L1DCache> cache_;
+  std::unique_ptr<LdStUnit> unit_;
+  std::unique_ptr<Program> prog_;
+  std::vector<Warp> warps_;
+};
+
+TEST_F(LdStUnitTest, DispatchesOneTransactionPerCycle) {
+  warps_[0].BlockOnMem(0);
+  unit_->Enqueue(LoadOp(0, {0, 128}));
+  unit_->Tick(0, warps_);
+  EXPECT_EQ(unit_->transactions, 1u);
+  EXPECT_FALSE(unit_->Idle());  // second line still pending
+  unit_->Tick(1, warps_);
+  EXPECT_EQ(unit_->transactions, 2u);
+  EXPECT_TRUE(unit_->Idle());
+  EXPECT_EQ(warps_[0].outstanding(), 2u);
+}
+
+TEST_F(LdStUnitTest, WarpWakesAfterAllTransactionsReturn) {
+  warps_[0].BlockOnMem(0);
+  unit_->Enqueue(LoadOp(0, {0, 128}));
+  unit_->Tick(0, warps_);
+  unit_->Tick(1, warps_);
+  EXPECT_FALSE(warps_[0].Issueable(2));
+  FillAll();
+  EXPECT_TRUE(warps_[0].Issueable(2));
+}
+
+TEST_F(LdStUnitTest, HeadOfLineBlockingOnReservationFail) {
+  // Fill set 0 with reserved lines: blocks 0 and 2 (2 sets, linear).
+  warps_[0].BlockOnMem(0);
+  unit_->Enqueue(LoadOp(0, {0 * 128, 2 * 128, 4 * 128}));
+  unit_->Tick(0, warps_);
+  unit_->Tick(1, warps_);
+  // Third transaction targets the fully reserved set 0 -> stall.
+  unit_->Tick(2, warps_);
+  EXPECT_EQ(unit_->stall_cycles, 1u);
+  // An op from another warp behind the head cannot proceed either.
+  warps_[1].BlockOnMem(3);
+  unit_->Enqueue(LoadOp(1, {1 * 128}));
+  unit_->Tick(3, warps_);
+  EXPECT_EQ(unit_->stall_cycles, 2u);
+  EXPECT_EQ(unit_->queue_depth(), 2u);
+
+  // Resolving the fills unblocks the pipeline.
+  FillAll();
+  unit_->Tick(4, warps_);  // head's third transaction now reserves
+  unit_->Tick(5, warps_);  // second op dispatches
+  EXPECT_TRUE(unit_->Idle());
+}
+
+TEST_F(LdStUnitTest, StoresAreFireAndForget) {
+  WarpMemOp op;
+  op.warp_index = 0;
+  op.type = AccessType::kStore;
+  op.lines = {0};
+  unit_->Enqueue(std::move(op));
+  unit_->Tick(0, warps_);
+  EXPECT_TRUE(unit_->Idle());
+  EXPECT_TRUE(warps_[0].Issueable(1));  // never blocked
+  EXPECT_EQ(warps_[0].outstanding(), 0u);
+}
+
+TEST_F(LdStUnitTest, AllHitLoadWakesWithoutOutstanding) {
+  warps_[0].BlockOnMem(0);
+  unit_->Enqueue(LoadOp(0, {0}));
+  unit_->Tick(0, warps_);
+  FillAll();
+  EXPECT_TRUE(warps_[0].Issueable(1));
+  // Second access to the same line hits; the warp wakes on dispatch.
+  warps_[1].BlockOnMem(1);
+  unit_->Enqueue(LoadOp(1, {0}));
+  unit_->Tick(1, warps_);
+  EXPECT_EQ(warps_[1].outstanding(), 0u);
+  EXPECT_TRUE(warps_[1].Issueable(2));
+}
+
+TEST_F(LdStUnitTest, CapacityBound) {
+  for (std::uint32_t i = 0; i < cfg_.core.ldst_queue_entries; ++i) {
+    ASSERT_TRUE(unit_->CanAccept());
+    unit_->Enqueue(LoadOp(0, {static_cast<Addr>(i) * 128}));
+  }
+  EXPECT_FALSE(unit_->CanAccept());
+}
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,71 @@
+// Parameterized smoke tests over all 18 paper benchmarks: each app runs
+// at a small scale on a reduced GPU under the baseline and DLP and must
+// satisfy its class-specific expectations.
+#include <gtest/gtest.h>
+
+#include "gpu/simulator.h"
+#include "workloads/registry.h"
+
+namespace dlpsim {
+namespace {
+
+class AppSmoke : public ::testing::TestWithParam<std::string> {
+ protected:
+  static SimConfig SmallGpu(PolicyKind policy) {
+    SimConfig cfg = SimConfig::WithPolicy(policy);
+    cfg.num_cores = 4;
+    cfg.num_partitions = 4;
+    cfg.max_core_cycles = 2'000'000;
+    return cfg;
+  }
+
+  static Metrics RunApp(const std::string& abbr, PolicyKind policy,
+                        double scale) {
+    const Workload wl = MakeWorkload(abbr, scale);
+    GpuSimulator gpu(SmallGpu(policy), wl.program.get(), wl.warps_per_sm);
+    return gpu.Run();
+  }
+};
+
+TEST_P(AppSmoke, BaselineCompletesWithSaneCounters) {
+  const Metrics m = RunApp(GetParam(), PolicyKind::kBaseline, 0.2);
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_GT(m.ipc(), 0.0);
+  EXPECT_GT(m.l1d_accesses, 0u);
+  EXPECT_EQ(m.l1d_loads, m.l1d_load_hits + m.l1d_load_misses);
+  EXPECT_EQ(m.l1d_bypasses, 0u);  // baseline never bypasses
+  EXPECT_GT(m.icnt_bytes_total, m.icnt_bytes_l1d);  // background traffic
+}
+
+TEST_P(AppSmoke, DlpCompletesAndNeverLosesMuch) {
+  const Metrics base = RunApp(GetParam(), PolicyKind::kBaseline, 0.2);
+  const Metrics dlp = RunApp(GetParam(), PolicyKind::kDlp, 0.2);
+  ASSERT_EQ(dlp.completed, 1u);
+  EXPECT_EQ(dlp.committed_thread_insns, base.committed_thread_insns);
+  // Paper §6.1.1: no application loses more than ~3% with DLP; allow a
+  // margin for the reduced smoke-test GPU.
+  EXPECT_GT(dlp.ipc(), 0.93 * base.ipc()) << GetParam();
+}
+
+TEST_P(AppSmoke, MemoryRatioMatchesClass) {
+  const Workload wl = MakeWorkload(GetParam(), 0.2);
+  const Metrics m = RunApp(GetParam(), PolicyKind::kBaseline, 0.2);
+  // The dynamic ratio equals the static program ratio (full warps, no
+  // divergence modelled).
+  EXPECT_NEAR(m.memory_access_ratio(), wl.program->MemoryAccessRatio(),
+              1e-9);
+  if (wl.info.cache_insufficient) {
+    EXPECT_GE(m.memory_access_ratio(), 0.01);
+  } else {
+    EXPECT_LT(m.memory_access_ratio(), 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSmoke,
+                         ::testing::ValuesIn(AllAppAbbrs()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace dlpsim
