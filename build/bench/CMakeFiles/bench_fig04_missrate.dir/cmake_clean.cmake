@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_missrate.dir/bench_fig04_missrate.cpp.o"
+  "CMakeFiles/bench_fig04_missrate.dir/bench_fig04_missrate.cpp.o.d"
+  "bench_fig04_missrate"
+  "bench_fig04_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

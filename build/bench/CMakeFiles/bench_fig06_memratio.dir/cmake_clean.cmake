@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_memratio.dir/bench_fig06_memratio.cpp.o"
+  "CMakeFiles/bench_fig06_memratio.dir/bench_fig06_memratio.cpp.o.d"
+  "bench_fig06_memratio"
+  "bench_fig06_memratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_memratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

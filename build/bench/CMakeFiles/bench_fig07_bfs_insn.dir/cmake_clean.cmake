@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_bfs_insn.dir/bench_fig07_bfs_insn.cpp.o"
+  "CMakeFiles/bench_fig07_bfs_insn.dir/bench_fig07_bfs_insn.cpp.o.d"
+  "bench_fig07_bfs_insn"
+  "bench_fig07_bfs_insn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bfs_insn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_hits.dir/bench_fig12_hits.cpp.o"
+  "CMakeFiles/bench_fig12_hits.dir/bench_fig12_hits.cpp.o.d"
+  "bench_fig12_hits"
+  "bench_fig12_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_icnt.dir/bench_fig13_icnt.cpp.o"
+  "CMakeFiles/bench_fig13_icnt.dir/bench_fig13_icnt.cpp.o.d"
+  "bench_fig13_icnt"
+  "bench_fig13_icnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_icnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_calibration.dir/pattern_calibration.cpp.o"
+  "CMakeFiles/pattern_calibration.dir/pattern_calibration.cpp.o.d"
+  "pattern_calibration"
+  "pattern_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

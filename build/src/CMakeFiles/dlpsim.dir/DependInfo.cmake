@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/per_sm_profiler.cpp" "src/CMakeFiles/dlpsim.dir/analysis/per_sm_profiler.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/analysis/per_sm_profiler.cpp.o.d"
+  "/root/repo/src/analysis/rd_profiler.cpp" "src/CMakeFiles/dlpsim.dir/analysis/rd_profiler.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/analysis/rd_profiler.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/dlpsim.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/reuse_miss.cpp" "src/CMakeFiles/dlpsim.dir/analysis/reuse_miss.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/analysis/reuse_miss.cpp.o.d"
+  "/root/repo/src/analysis/trace_replay.cpp" "src/CMakeFiles/dlpsim.dir/analysis/trace_replay.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/analysis/trace_replay.cpp.o.d"
+  "/root/repo/src/cache/mshr.cpp" "src/CMakeFiles/dlpsim.dir/cache/mshr.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/cache/mshr.cpp.o.d"
+  "/root/repo/src/cache/tag_array.cpp" "src/CMakeFiles/dlpsim.dir/cache/tag_array.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/cache/tag_array.cpp.o.d"
+  "/root/repo/src/core/l1d_cache.cpp" "src/CMakeFiles/dlpsim.dir/core/l1d_cache.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/core/l1d_cache.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/CMakeFiles/dlpsim.dir/core/overhead.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/core/overhead.cpp.o.d"
+  "/root/repo/src/core/pdpt.cpp" "src/CMakeFiles/dlpsim.dir/core/pdpt.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/core/pdpt.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/CMakeFiles/dlpsim.dir/core/policies.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/core/policies.cpp.o.d"
+  "/root/repo/src/core/vta.cpp" "src/CMakeFiles/dlpsim.dir/core/vta.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/core/vta.cpp.o.d"
+  "/root/repo/src/gpu/metrics.cpp" "src/CMakeFiles/dlpsim.dir/gpu/metrics.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/gpu/metrics.cpp.o.d"
+  "/root/repo/src/gpu/simulator.cpp" "src/CMakeFiles/dlpsim.dir/gpu/simulator.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/gpu/simulator.cpp.o.d"
+  "/root/repo/src/icnt/crossbar.cpp" "src/CMakeFiles/dlpsim.dir/icnt/crossbar.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/icnt/crossbar.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/dlpsim.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/l2_cache.cpp" "src/CMakeFiles/dlpsim.dir/mem/l2_cache.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/mem/l2_cache.cpp.o.d"
+  "/root/repo/src/mem/partition.cpp" "src/CMakeFiles/dlpsim.dir/mem/partition.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/mem/partition.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/dlpsim.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/dlpsim.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/dlpsim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sm/coalescer.cpp" "src/CMakeFiles/dlpsim.dir/sm/coalescer.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sm/coalescer.cpp.o.d"
+  "/root/repo/src/sm/ldst_unit.cpp" "src/CMakeFiles/dlpsim.dir/sm/ldst_unit.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sm/ldst_unit.cpp.o.d"
+  "/root/repo/src/sm/scheduler.cpp" "src/CMakeFiles/dlpsim.dir/sm/scheduler.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sm/scheduler.cpp.o.d"
+  "/root/repo/src/sm/sm_core.cpp" "src/CMakeFiles/dlpsim.dir/sm/sm_core.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sm/sm_core.cpp.o.d"
+  "/root/repo/src/sm/warp.cpp" "src/CMakeFiles/dlpsim.dir/sm/warp.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/sm/warp.cpp.o.d"
+  "/root/repo/src/workloads/apps_ci.cpp" "src/CMakeFiles/dlpsim.dir/workloads/apps_ci.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/workloads/apps_ci.cpp.o.d"
+  "/root/repo/src/workloads/apps_cs.cpp" "src/CMakeFiles/dlpsim.dir/workloads/apps_cs.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/workloads/apps_cs.cpp.o.d"
+  "/root/repo/src/workloads/patterns.cpp" "src/CMakeFiles/dlpsim.dir/workloads/patterns.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/workloads/patterns.cpp.o.d"
+  "/root/repo/src/workloads/program.cpp" "src/CMakeFiles/dlpsim.dir/workloads/program.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/workloads/program.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/dlpsim.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/dlpsim.dir/workloads/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlpsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/per_sm_profiler_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/per_sm_profiler_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/per_sm_profiler_test.cpp.o.d"
+  "/root/repo/tests/analysis/rd_profiler_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/rd_profiler_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/rd_profiler_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o.d"
+  "/root/repo/tests/analysis/reuse_miss_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/reuse_miss_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/reuse_miss_test.cpp.o.d"
+  "/root/repo/tests/analysis/trace_replay_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/trace_replay_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/trace_replay_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

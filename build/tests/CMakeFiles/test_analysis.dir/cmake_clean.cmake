@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/per_sm_profiler_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/per_sm_profiler_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/rd_profiler_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/rd_profiler_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/reuse_miss_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/reuse_miss_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/trace_replay_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/trace_replay_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

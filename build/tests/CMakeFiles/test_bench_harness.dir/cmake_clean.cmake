@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_harness.dir/bench/harness_test.cpp.o"
+  "CMakeFiles/test_bench_harness.dir/bench/harness_test.cpp.o.d"
+  "test_bench_harness"
+  "test_bench_harness.pdb"
+  "test_bench_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/l1d_cache_test.cpp" "tests/CMakeFiles/test_core.dir/core/l1d_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/l1d_cache_test.cpp.o.d"
+  "/root/repo/tests/core/overhead_test.cpp" "tests/CMakeFiles/test_core.dir/core/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/overhead_test.cpp.o.d"
+  "/root/repo/tests/core/pdpt_test.cpp" "tests/CMakeFiles/test_core.dir/core/pdpt_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pdpt_test.cpp.o.d"
+  "/root/repo/tests/core/policies_test.cpp" "tests/CMakeFiles/test_core.dir/core/policies_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/policies_test.cpp.o.d"
+  "/root/repo/tests/core/vta_test.cpp" "tests/CMakeFiles/test_core.dir/core/vta_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/vta_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/l1d_cache_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/l1d_cache_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/overhead_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/overhead_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pdpt_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pdpt_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/policies_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/policies_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/vta_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/vta_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

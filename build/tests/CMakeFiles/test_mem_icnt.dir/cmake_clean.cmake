@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_icnt.dir/icnt/crossbar_test.cpp.o"
+  "CMakeFiles/test_mem_icnt.dir/icnt/crossbar_test.cpp.o.d"
+  "CMakeFiles/test_mem_icnt.dir/mem/dram_test.cpp.o"
+  "CMakeFiles/test_mem_icnt.dir/mem/dram_test.cpp.o.d"
+  "CMakeFiles/test_mem_icnt.dir/mem/l2_cache_test.cpp.o"
+  "CMakeFiles/test_mem_icnt.dir/mem/l2_cache_test.cpp.o.d"
+  "CMakeFiles/test_mem_icnt.dir/mem/partition_test.cpp.o"
+  "CMakeFiles/test_mem_icnt.dir/mem/partition_test.cpp.o.d"
+  "test_mem_icnt"
+  "test_mem_icnt.pdb"
+  "test_mem_icnt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_icnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

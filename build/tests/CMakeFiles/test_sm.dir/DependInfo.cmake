@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sm/coalescer_test.cpp" "tests/CMakeFiles/test_sm.dir/sm/coalescer_test.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/coalescer_test.cpp.o.d"
+  "/root/repo/tests/sm/ldst_unit_test.cpp" "tests/CMakeFiles/test_sm.dir/sm/ldst_unit_test.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/ldst_unit_test.cpp.o.d"
+  "/root/repo/tests/sm/scheduler_test.cpp" "tests/CMakeFiles/test_sm.dir/sm/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sm/warp_test.cpp" "tests/CMakeFiles/test_sm.dir/sm/warp_test.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/warp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

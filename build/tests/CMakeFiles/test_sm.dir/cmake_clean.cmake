@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm.dir/sm/coalescer_test.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/coalescer_test.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/ldst_unit_test.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/ldst_unit_test.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/scheduler_test.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/warp_test.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/warp_test.cpp.o.d"
+  "test_sm"
+  "test_sm.pdb"
+  "test_sm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
