@@ -3,11 +3,15 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "analysis/per_sm_profiler.h"
 #include "gpu/simulator.h"
+#include "obs/exporters.h"
+#include "obs/timeline.h"
+#include "obs/trace_sink.h"
 #include "workloads/registry.h"
 
 namespace dlpsim::bench {
@@ -22,7 +26,29 @@ std::string CacheDir() {
   return ".dlpsim_cache";
 }
 
-bool CacheEnabled() { return std::getenv("DLPSIM_NOCACHE") == nullptr; }
+bool TraceEnabled() {
+  const char* env = std::getenv("DLPSIM_TRACE");
+  return env != nullptr && std::string(env) != "0" && std::string(env) != "";
+}
+
+// Tracing implies no result cache: a cache hit would skip the simulation
+// and produce no trace.
+bool CacheEnabled() {
+  return std::getenv("DLPSIM_NOCACHE") == nullptr && !TraceEnabled();
+}
+
+std::string TraceOutDir() {
+  if (const char* env = std::getenv("DLPSIM_TRACE_OUT")) return env;
+  return "dlpsim_trace";
+}
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
 }  // namespace
 
 double Scale() {
@@ -104,6 +130,44 @@ std::string KeyFor(const std::string& abbr, const std::string& config) {
   return os.str();
 }
 
+/// Writes the JSON report, Chrome trace and timeline CSV for one traced
+/// run into DLPSIM_TRACE_OUT. Failures are reported on stderr and never
+/// affect the run's results.
+void ExportTrace(const std::string& abbr, const std::string& config,
+                 const SimConfig& cfg, const Metrics& metrics,
+                 const TimelineSampler& timeline, const TraceSink& sink) {
+  namespace fs = std::filesystem;
+  const fs::path dir = TraceOutDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "[trace] cannot create " << dir << ": " << ec.message()
+              << '\n';
+    return;
+  }
+  const std::string stem = abbr + "_" + config;
+  const RunReportInfo info{.app = abbr, .config = config, .scale = Scale()};
+
+  const fs::path report = dir / (stem + ".report.json");
+  {
+    std::ofstream os(report);
+    WriteJsonReport(os, info, cfg, metrics, &timeline, &sink);
+  }
+  const fs::path chrome = dir / (stem + ".trace.json");
+  {
+    std::ofstream os(chrome);
+    WriteChromeTrace(os, sink, &timeline, cfg.num_cores);
+  }
+  const fs::path csv = dir / (stem + ".timeline.csv");
+  {
+    std::ofstream os(csv);
+    WriteTimelineCsv(os, timeline);
+  }
+  std::cerr << "[trace] " << stem << ": " << sink.size() << " events ("
+            << sink.dropped() << " dropped) -> " << report.string() << ", "
+            << chrome.string() << ", " << csv.string() << '\n';
+}
+
 RunResult Simulate(const std::string& abbr, const std::string& config) {
   const SimConfig cfg = ConfigFor(config);
   Workload wl = MakeWorkload(abbr, Scale());
@@ -112,6 +176,14 @@ RunResult Simulate(const std::string& abbr, const std::string& config) {
   PerSmProfiler profiler(cfg.num_cores, cfg.l1d.geom.sets);
   profiler.AttachTo(gpu);
 
+  const bool tracing = TraceEnabled();
+  TraceSink sink(EnvU64("DLPSIM_TRACE_EVENTS", 1u << 20));
+  TimelineSampler timeline(EnvU64("DLPSIM_TRACE_INTERVAL", 5000));
+  if (tracing) {
+    gpu.SetTraceSink(&sink);
+    gpu.SetTimeline(&timeline);
+  }
+
   RunResult result;
   result.metrics = gpu.Run();
   result.profile.global = profiler.GlobalRdd();
@@ -119,6 +191,10 @@ RunResult Simulate(const std::string& abbr, const std::string& config) {
   result.profile.reuse_accesses = profiler.reuse_accesses();
   result.profile.reuse_misses = profiler.reuse_misses();
   result.profile.compulsory = profiler.compulsory_accesses();
+
+  if (tracing) {
+    ExportTrace(abbr, config, cfg, result.metrics, timeline, sink);
+  }
   return result;
 }
 

@@ -10,6 +10,16 @@
 //   DLPSIM_SCALE      - iteration scale factor (default 1.0)
 //   DLPSIM_CACHE_DIR  - cache directory (default ./.dlpsim_cache)
 //   DLPSIM_NOCACHE    - set to disable the cache entirely
+//   DLPSIM_TRACE      - set to 1 to trace every simulated run: a JSON
+//                       run report, a Chrome trace-event file (Perfetto /
+//                       chrome://tracing) and a timeline CSV are written
+//                       per (app, config). Implies DLPSIM_NOCACHE so
+//                       every run actually simulates. Tracing never
+//                       changes simulation results or the printed tables.
+//   DLPSIM_TRACE_OUT  - trace output directory (default ./dlpsim_trace)
+//   DLPSIM_TRACE_EVENTS   - trace ring-buffer capacity (default 1048576)
+//   DLPSIM_TRACE_INTERVAL - timeline sample interval in core cycles
+//                           (default 5000)
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace_sink.h"
+
 namespace dlpsim {
 
 const char* ToString(AccessResult r) {
@@ -34,6 +36,23 @@ void L1DCache::CommitQuery(std::uint32_t set, Cycle now) {
   policy_->OnAccessSampled(now);
 }
 
+void L1DCache::SetTraceSink(TraceSink* sink, std::uint32_t sm_id) {
+  trace_ = sink;
+  sm_ = static_cast<std::uint16_t>(sm_id);
+  policy_->SetTrace(sink, sm_);
+}
+
+void L1DCache::TraceBypass(std::uint32_t set, Addr block, Pc pc,
+                           BypassReason reason) {
+  if (trace_ == nullptr) return;
+  trace_->Emit({.arg0 = static_cast<std::uint64_t>(reason),
+                .block = block,
+                .pc = pc,
+                .set = set,
+                .sm = sm_,
+                .kind = TraceEventKind::kBypass});
+}
+
 void L1DCache::PushOutgoing(L1DOutgoing req) {
   assert(outgoing_.size() < cfg_.miss_queue_entries);
   outgoing_.push_back(req);
@@ -52,6 +71,14 @@ void L1DCache::EvictFor(std::uint32_t set, std::uint32_t way, Addr new_block,
   if (!IsFilled(previous.state)) return;
   ++stats_.evictions;
   policy_->OnEviction(set, previous);
+  if (trace_ != nullptr) {
+    trace_->Emit({.arg0 = previous.state == LineState::kModified ? 1u : 0u,
+                  .block = previous.block,
+                  .pc = previous.src_pc,
+                  .set = set,
+                  .sm = sm_,
+                  .kind = TraceEventKind::kEviction});
+  }
   if (previous.state == LineState::kModified) {
     ++stats_.writebacks;
     PushOutgoing(L1DOutgoing{.block = previous.block,
@@ -66,8 +93,19 @@ void L1DCache::EvictFor(std::uint32_t set, std::uint32_t way, Addr new_block,
 AccessResult L1DCache::Access(const MemAccess& access, Cycle now) {
   const Addr block = tda_.BlockOf(access.addr);
   const std::uint32_t set = tda_.SetOfBlock(block);
-  return access.type == AccessType::kLoad ? AccessLoad(access, set, block, now)
-                                          : AccessStore(access, set, block, now);
+  if (trace_ != nullptr) trace_->SetNow(now);
+  const AccessResult result = access.type == AccessType::kLoad
+                                  ? AccessLoad(access, set, block, now)
+                                  : AccessStore(access, set, block, now);
+  if (trace_ != nullptr) {
+    trace_->Emit({.arg0 = static_cast<std::uint64_t>(result),
+                  .block = block,
+                  .pc = access.pc,
+                  .set = set,
+                  .sm = sm_,
+                  .kind = TraceEventKind::kAccess});
+  }
+  return result;
 }
 
 AccessResult L1DCache::AccessLoad(const MemAccess& access, std::uint32_t set,
@@ -118,6 +156,7 @@ AccessResult L1DCache::AccessLoad(const MemAccess& access, std::uint32_t set,
                                .pc = access.pc,
                                .token = access.token,
                                .payload_bytes = 0});
+      TraceBypass(set, block, access.pc, BypassReason::kResourceStall);
       return AccessResult::kBypassed;
     }
     ++stats_.reservation_fails;
@@ -125,6 +164,7 @@ AccessResult L1DCache::AccessLoad(const MemAccess& access, std::uint32_t set,
   }
 
   // --- true miss ---
+  bool resource_bypass = false;
   VictimChoice choice = policy_->PickVictim(tda_, set);
 
   if (choice.kind == VictimChoice::Kind::kWay) {
@@ -157,8 +197,8 @@ AccessResult L1DCache::AccessLoad(const MemAccess& access, std::uint32_t set,
       return AccessResult::kMissIssued;
     }
     // MSHR / miss-queue exhaustion.
-    choice = policy_->BypassOnResourceStall() ? VictimChoice::Bypass()
-                                              : VictimChoice::Stall();
+    resource_bypass = policy_->BypassOnResourceStall();
+    choice = resource_bypass ? VictimChoice::Bypass() : VictimChoice::Stall();
   }
 
   if (choice.kind == VictimChoice::Kind::kBypass && !OutgoingFull()) {
@@ -176,6 +216,9 @@ AccessResult L1DCache::AccessLoad(const MemAccess& access, std::uint32_t set,
                              .pc = access.pc,
                              .token = access.token,
                              .payload_bytes = 0});
+    TraceBypass(set, block, access.pc,
+                resource_bypass ? BypassReason::kResourceStall
+                                : BypassReason::kNoVictim);
     return AccessResult::kBypassed;
   }
 
@@ -228,7 +271,6 @@ AccessResult L1DCache::AccessStore(const MemAccess& access, std::uint32_t set,
 
 void L1DCache::Fill(const L1DResponse& response, Cycle now,
                     std::vector<MshrToken>& woken) {
-  (void)now;
   if (response.no_fill) {
     woken.push_back(response.token);
     return;
@@ -238,6 +280,13 @@ void L1DCache::Fill(const L1DResponse& response, Cycle now,
   assert(filled && "fill for a block that is not reserved");
   (void)filled;
   ++stats_.fills;
+  if (trace_ != nullptr) {
+    trace_->SetNow(now);
+    trace_->Emit({.block = response.block,
+                  .set = set,
+                  .sm = sm_,
+                  .kind = TraceEventKind::kFill});
+  }
   std::vector<MshrToken> tokens = mshr_.Retire(response.block);
   woken.insert(woken.end(), tokens.begin(), tokens.end());
 }

@@ -21,10 +21,13 @@
 #include "cache/stats.h"
 #include "cache/tag_array.h"
 #include "core/policies.h"
+#include "obs/trace_event.h"
 #include "sim/config.h"
 #include "sim/types.h"
 
 namespace dlpsim {
+
+class TraceSink;
 
 enum class AccessResult : std::uint8_t {
   kHit,
@@ -93,6 +96,13 @@ class L1DCache {
   /// Optional pre-policy observer (reuse-distance profiling).
   void SetObserver(AccessObserver* observer) { observer_ = observer; }
 
+  /// Optional event tracing (obs/). `sm_id` tags every emitted event so
+  /// multi-core traces attribute records to their SM; the policy shares
+  /// the sink. Pass nullptr to detach. When no sink is attached every
+  /// hook costs one pointer comparison.
+  void SetTraceSink(TraceSink* sink, std::uint32_t sm_id = 0);
+  TraceSink* trace_sink() const { return trace_; }
+
  private:
   AccessResult AccessLoad(const MemAccess& access, std::uint32_t set,
                           Addr block, Cycle now);
@@ -106,6 +116,8 @@ class L1DCache {
   bool OutgoingFull() const { return outgoing_.size() >= cfg_.miss_queue_entries; }
   void PushOutgoing(L1DOutgoing req);
 
+  void TraceBypass(std::uint32_t set, Addr block, Pc pc, BypassReason reason);
+
   /// Evicts (set, way) for reuse; updates stats/VTA/writeback traffic.
   void EvictFor(std::uint32_t set, std::uint32_t way, Addr new_block, Pc pc);
 
@@ -116,6 +128,8 @@ class L1DCache {
   std::deque<L1DOutgoing> outgoing_;
   CacheStats stats_;
   AccessObserver* observer_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  std::uint16_t sm_ = 0;
 };
 
 }  // namespace dlpsim

@@ -66,6 +66,13 @@ PdpTable::UpdatePath PdpTable::EndSample() {
   return path;
 }
 
+double PdpTable::MeanPd() const {
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) sum += e.pd;
+  return entries_.empty() ? 0.0
+                          : static_cast<double>(sum) / entries_.size();
+}
+
 void PdpTable::Clear() {
   for (Entry& e : entries_) {
     e.tda_hits.Reset();

@@ -70,6 +70,9 @@ class PdpTable {
   std::uint32_t nasc() const { return nasc_; }
   std::uint32_t pd_max() const { return cfg_.pd_max(); }
 
+  /// Mean protection distance over all entries (telemetry).
+  double MeanPd() const;
+
   /// Resets PDs and counters (between kernels).
   void Clear();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_sink.h"
+
 namespace dlpsim {
 
 // ---------------------------------------------------------------------------
@@ -75,30 +77,46 @@ void ProtectedLifePolicy::OnSetQuery(std::span<CacheLine> set) {
   }
 }
 
+void ProtectedLifePolicy::StampOwnership(CacheLine& line, Pc pc) {
+  const std::uint32_t id = pdpt_.IndexOf(pc);
+  line.insn_id = id;
+  line.protected_life = pdpt_.Pd(id);
+  if (trace_ != nullptr && line.protected_life == pdpt_.pd_max()) {
+    trace_->Emit({.arg0 = id,
+                  .block = line.block,
+                  .pc = pc,
+                  .sm = trace_sm_,
+                  .kind = TraceEventKind::kPlSaturated});
+  }
+}
+
 void ProtectedLifePolicy::OnLoadHit(CacheLine& line, Pc pc) {
   // Attribute the hit to the instruction that last owned the line, then
   // transfer ownership to the hitting instruction (paper §4.1.1).
   pdpt_.CreditTdaHit(line.insn_id);
-  const std::uint32_t id = pdpt_.IndexOf(pc);
-  line.insn_id = id;
-  line.protected_life = pdpt_.Pd(id);
+  StampOwnership(line, pc);
 }
 
 void ProtectedLifePolicy::OnMergedMiss(CacheLine& line, Pc pc) {
-  const std::uint32_t id = pdpt_.IndexOf(pc);
-  line.insn_id = id;
-  line.protected_life = pdpt_.Pd(id);
+  StampOwnership(line, pc);
 }
 
-void ProtectedLifePolicy::OnLoadMiss(std::uint32_t set, Addr block, Pc) {
+void ProtectedLifePolicy::OnLoadMiss(std::uint32_t set, Addr block, Pc pc) {
   const VictimTagArray::HitInfo info = vta_.ProbeAndConsume(set, block);
-  if (info.hit) pdpt_.CreditVtaHit(info.insn_id);
+  if (!info.hit) return;
+  pdpt_.CreditVtaHit(info.insn_id);
+  if (trace_ != nullptr) {
+    trace_->Emit({.arg0 = info.insn_id,
+                  .block = block,
+                  .pc = pc,
+                  .set = set,
+                  .sm = trace_sm_,
+                  .kind = TraceEventKind::kVtaHit});
+  }
 }
 
 void ProtectedLifePolicy::OnReserve(CacheLine& line, Pc pc) {
-  const std::uint32_t id = pdpt_.IndexOf(pc);
-  line.insn_id = id;
-  line.protected_life = pdpt_.Pd(id);
+  StampOwnership(line, pc);
 }
 
 void ProtectedLifePolicy::OnEviction(std::uint32_t set,
@@ -123,10 +141,28 @@ VictimChoice ProtectedLifePolicy::PickVictim(const TagArray& tda,
 }
 
 void ProtectedLifePolicy::OnAccessSampled(Cycle now) {
-  if (window_.OnAccess(now)) {
+  if (!window_.OnAccess(now)) return;
+  if (trace_ == nullptr) {
     pdpt_.EndSample();
-    window_.Restart(now);
+  } else {
+    // mean PD x1000 keeps the event payload integral without losing the
+    // sub-unit motion of a 128-entry mean.
+    const auto mean_milli = [this] {
+      return static_cast<std::uint64_t>(pdpt_.MeanPd() * 1000.0);
+    };
+    const std::uint64_t before = mean_milli();
+    const std::uint64_t tda_hits = pdpt_.global_tda_hits();
+    const std::uint64_t vta_hits = pdpt_.global_vta_hits();
+    const PdpTable::UpdatePath path = pdpt_.EndSample();
+    trace_->Emit({.arg0 = before,
+                  .arg1 = mean_milli(),
+                  .arg2 = static_cast<std::uint64_t>(path),
+                  .block = tda_hits,
+                  .pc = static_cast<Pc>(vta_hits),
+                  .sm = trace_sm_,
+                  .kind = TraceEventKind::kPdSample});
   }
+  window_.Restart(now);
 }
 
 void ProtectedLifePolicy::Reset() {

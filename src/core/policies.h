@@ -27,6 +27,8 @@
 
 namespace dlpsim {
 
+class TraceSink;
+
 /// Outcome of asking a policy where a missing line may be placed.
 struct VictimChoice {
   enum class Kind : std::uint8_t {
@@ -87,10 +89,23 @@ class ProtectionPolicy {
   /// Reset policy state between kernels.
   virtual void Reset();
 
+  /// Attaches (or detaches, with nullptr) the event-trace sink. Shared
+  /// with the owning L1DCache, which keeps the sink's cycle stamp
+  /// current; `sm` tags emitted events. Protection policies emit VTA-hit,
+  /// PD-recompute and PL-saturation records through it.
+  void SetTrace(TraceSink* trace, std::uint16_t sm) {
+    trace_ = trace;
+    trace_sm_ = sm;
+  }
+
   // Introspection for tests, benches and reports (null/0 when N/A).
   virtual const PdpTable* pdpt() const { return nullptr; }
   virtual const VictimTagArray* vta() const { return nullptr; }
   virtual std::uint32_t PdForPc(Pc) const { return 0; }
+
+ protected:
+  TraceSink* trace_ = nullptr;
+  std::uint16_t trace_sm_ = 0;
 };
 
 /// Factory keyed by L1DConfig::policy.
@@ -143,6 +158,11 @@ class ProtectedLifePolicy : public ProtectionPolicy {
   PdpTable pdpt_;
   VictimTagArray vta_;
   SampleWindow window_;
+
+ private:
+  /// Common OnLoadHit/OnMergedMiss/OnReserve tail: move instruction
+  /// ownership to `pc` and rewrite PL (tracing PL-field saturation).
+  void StampOwnership(CacheLine& line, Pc pc);
 };
 
 class GlobalProtectionPolicy : public ProtectedLifePolicy {

@@ -6,13 +6,9 @@
 namespace dlpsim {
 
 namespace {
-// Single field table so serialization and parsing cannot drift apart.
-struct FieldDef {
-  const char* name;
-  std::uint64_t Metrics::* member;
-};
-
-constexpr FieldDef kFields[] = {
+// Single field table so serialization and parsing cannot drift apart;
+// exposed through MetricsFields() for the obs/ exporters.
+constexpr MetricsField kFields[] = {
     {"core_cycles", &Metrics::core_cycles},
     {"committed_thread_insns", &Metrics::committed_thread_insns},
     {"committed_mem_insns", &Metrics::committed_mem_insns},
@@ -46,9 +42,11 @@ constexpr FieldDef kFields[] = {
 };
 }  // namespace
 
+std::span<const MetricsField> MetricsFields() { return kFields; }
+
 std::string Metrics::ToText() const {
   std::ostringstream os;
-  for (const FieldDef& f : kFields) {
+  for (const MetricsField& f : kFields) {
     os << f.name << ' ' << this->*(f.member) << '\n';
   }
   return os.str();
@@ -63,7 +61,7 @@ Metrics Metrics::FromText(const std::string& text, bool* ok) {
 
   Metrics m;
   bool all_found = true;
-  for (const FieldDef& f : kFields) {
+  for (const MetricsField& f : kFields) {
     auto it = parsed.find(f.name);
     if (it == parsed.end()) {
       all_found = false;

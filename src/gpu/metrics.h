@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace dlpsim {
@@ -67,10 +68,17 @@ struct Metrics {
   }
 
   /// Accesses that actually entered the L1D (Fig. 11a's "traffic").
-  std::uint64_t l1d_traffic() const { return l1d_accesses - l1d_bypasses; }
+  /// Clamped: bypasses cannot exceed accesses in a simulated run, but
+  /// hand-built or partially-parsed Metrics must not wrap.
+  std::uint64_t l1d_traffic() const {
+    return l1d_bypasses >= l1d_accesses ? 0 : l1d_accesses - l1d_bypasses;
+  }
   /// Paper Fig. 12a: bypassed accesses do not count towards the hit rate.
+  /// Clamped like l1d_traffic(): `l1d_loads - l1d_bypasses` would wrap
+  /// when bypasses exceed loads.
   double l1d_hit_rate() const {
-    const std::uint64_t serviced = l1d_loads - l1d_bypasses;
+    const std::uint64_t serviced =
+        l1d_bypasses >= l1d_loads ? 0 : l1d_loads - l1d_bypasses;
     return serviced == 0
                ? 0.0
                : static_cast<double>(l1d_load_hits) / serviced;
@@ -80,5 +88,16 @@ struct Metrics {
   std::string ToText() const;
   static Metrics FromText(const std::string& text, bool* ok = nullptr);
 };
+
+/// Name + member-pointer pair for one Metrics counter; the table drives
+/// serialization, JSON/CSV export and timeline delta computation so the
+/// field lists cannot drift apart.
+struct MetricsField {
+  const char* name;
+  std::uint64_t Metrics::* member;
+};
+
+/// Every counter field of Metrics, in the stable ToText() order.
+std::span<const MetricsField> MetricsFields();
 
 }  // namespace dlpsim

@@ -1,5 +1,9 @@
 #include "gpu/simulator.h"
 
+#include <algorithm>
+
+#include "obs/trace_sink.h"
+
 namespace dlpsim {
 
 GpuSimulator::GpuSimulator(const SimConfig& cfg, const Program* program,
@@ -22,6 +26,39 @@ void GpuSimulator::AttachObserver(AccessObserver* observer) {
   for (SmCore& core : cores_) core.l1d().SetObserver(observer);
 }
 
+void GpuSimulator::SetTraceSink(TraceSink* sink) {
+  for (SmCore& core : cores_) core.l1d().SetTraceSink(sink, core.id());
+}
+
+void GpuSimulator::SetTimeline(TimelineSampler* sampler) {
+  timeline_ = sampler;
+}
+
+PolicySnapshot GpuSimulator::SnapshotPolicy() const {
+  PolicySnapshot snap;
+  std::uint32_t cores_with_pdpt = 0;
+  for (const SmCore& core : cores_) {
+    const L1DCache& l1d = core.l1d();
+    if (const PdpTable* pdpt = l1d.policy().pdpt(); pdpt != nullptr) {
+      snap.mean_pd += pdpt->MeanPd();
+      snap.samples_taken += pdpt->samples_taken;
+      ++cores_with_pdpt;
+    }
+    const TagArray& tda = l1d.tda();
+    for (std::uint32_t set = 0; set < tda.geom().sets; ++set) {
+      for (const CacheLine& line : tda.SetView(set)) {
+        if (!IsOccupied(line.state)) continue;
+        if (line.protected_life > 0) ++snap.protected_lines;
+        const std::size_t bucket = std::min<std::size_t>(
+            line.protected_life, snap.pl_histogram.size() - 1);
+        ++snap.pl_histogram[bucket];
+      }
+    }
+  }
+  if (cores_with_pdpt > 0) snap.mean_pd /= cores_with_pdpt;
+  return snap;
+}
+
 void GpuSimulator::Step() {
   for (std::uint32_t domain : clocks_.Tick()) {
     if (domain == mem_domain_) {
@@ -32,6 +69,9 @@ void GpuSimulator::Step() {
     } else if (domain == core_domain_) {
       const Cycle now = clocks_.cycles(core_domain_);
       for (SmCore& core : cores_) core.TickCore(now, icnt_);
+      if (timeline_ != nullptr && timeline_->Due(now)) {
+        timeline_->Record(now, Collect(), SnapshotPolicy());
+      }
     }
   }
 }
@@ -53,6 +93,11 @@ Metrics GpuSimulator::Run() {
   }
   Metrics m = Collect();
   m.completed = Done() ? 1 : 0;
+  // Close the timeline with a final sample so the per-interval deltas
+  // sum exactly to the returned Metrics.
+  if (timeline_ != nullptr) {
+    timeline_->Record(clocks_.cycles(core_domain_), m, SnapshotPolicy());
+  }
   return m;
 }
 

@@ -10,12 +10,15 @@
 #include "gpu/metrics.h"
 #include "icnt/crossbar.h"
 #include "mem/partition.h"
+#include "obs/timeline.h"
 #include "sim/clock.h"
 #include "sim/config.h"
 #include "sm/sm_core.h"
 #include "workloads/program.h"
 
 namespace dlpsim {
+
+class TraceSink;
 
 class GpuSimulator {
  public:
@@ -30,6 +33,20 @@ class GpuSimulator {
   /// or per-set counters interleave across cores; a shared observer is
   /// only appropriate for aggregate counting.
   void AttachObserver(AccessObserver* observer);
+
+  /// Attaches one event-trace sink to every SM's L1D (and its policy),
+  /// tagging each core's events with its SM id. Tracing is purely
+  /// observational: attaching a sink never changes simulation results.
+  /// Pass nullptr to detach. The sink must outlive the simulator runs.
+  void SetTraceSink(TraceSink* sink);
+
+  /// Attaches a timeline sampler: every `sampler->interval()` core
+  /// cycles (and once at the end of Run) the cumulative Metrics and a
+  /// PolicySnapshot are recorded. Pass nullptr to detach.
+  void SetTimeline(TimelineSampler* sampler);
+
+  /// Aggregated protection state across every SM's L1D right now.
+  PolicySnapshot SnapshotPolicy() const;
 
   /// Runs until every core drains (or the max_core_cycles cap) and
   /// returns aggregated metrics.
@@ -55,6 +72,7 @@ class GpuSimulator {
   std::uint32_t core_domain_ = 0;
   std::uint32_t icnt_domain_ = 0;
   std::uint32_t mem_domain_ = 0;
+  TimelineSampler* timeline_ = nullptr;
 };
 
 }  // namespace dlpsim

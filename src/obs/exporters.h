@@ -1,0 +1,44 @@
+// Machine-readable exporters for run telemetry:
+//
+//   WriteJsonReport  - one self-describing JSON document per run: app /
+//                      configuration identity, key simulator parameters,
+//                      the full Metrics counter block, derived rates and
+//                      the sampled timeline.
+//   WriteChromeTrace - Chrome trace-event format (JSON), loadable in
+//                      Perfetto / chrome://tracing: one instant event per
+//                      retained trace record (thread = SM) plus counter
+//                      tracks from the timeline (mean PD, protected
+//                      lines, per-interval hits and bypasses).
+//   WriteTimelineCsv - the timeline as CSV, one row per sample: cycle,
+//                      every Metrics delta column, and the policy state.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "gpu/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace_sink.h"
+#include "sim/config.h"
+
+namespace dlpsim {
+
+/// Identity of the run being reported.
+struct RunReportInfo {
+  std::string app;     // workload abbreviation ("BFS"), may be empty
+  std::string config;  // configuration name ("dlp"), may be empty
+  double scale = 1.0;  // workload scale factor
+};
+
+void WriteJsonReport(std::ostream& os, const RunReportInfo& info,
+                     const SimConfig& cfg, const Metrics& metrics,
+                     const TimelineSampler* timeline = nullptr,
+                     const TraceSink* trace = nullptr);
+
+void WriteChromeTrace(std::ostream& os, const TraceSink& trace,
+                      const TimelineSampler* timeline = nullptr,
+                      std::uint32_t num_sms = 0);
+
+void WriteTimelineCsv(std::ostream& os, const TimelineSampler& timeline);
+
+}  // namespace dlpsim

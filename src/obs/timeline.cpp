@@ -1,0 +1,32 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+
+namespace dlpsim {
+
+TimelineSampler::TimelineSampler(Cycle interval)
+    : interval_(std::max<Cycle>(interval, 1)), next_(interval_) {}
+
+void TimelineSampler::Record(Cycle now, const Metrics& cumulative,
+                             const PolicySnapshot& snapshot) {
+  TimelineSample s;
+  s.cycle = now;
+  s.cumulative = cumulative;
+  s.policy = snapshot;
+  for (const MetricsField& f : MetricsFields()) {
+    s.delta.*(f.member) = cumulative.*(f.member) - last_.*(f.member);
+  }
+  last_ = cumulative;
+  samples_.push_back(std::move(s));
+  // Fixed grid (not now + interval) so a late sample does not shift
+  // every following one.
+  while (next_ <= now) next_ += interval_;
+}
+
+void TimelineSampler::Clear() {
+  samples_.clear();
+  last_ = Metrics{};
+  next_ = interval_;
+}
+
+}  // namespace dlpsim

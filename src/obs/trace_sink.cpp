@@ -1,0 +1,73 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlpsim {
+
+const char* ToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAccess:
+      return "access";
+    case TraceEventKind::kBypass:
+      return "bypass";
+    case TraceEventKind::kEviction:
+      return "eviction";
+    case TraceEventKind::kFill:
+      return "fill";
+    case TraceEventKind::kVtaHit:
+      return "vta_hit";
+    case TraceEventKind::kPdSample:
+      return "pd_sample";
+    case TraceEventKind::kPlSaturated:
+      return "pl_saturated";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(std::size_t capacity) : buffer_(std::max<std::size_t>(capacity, 1)) {}
+
+void TraceSink::Emit(TraceEvent event) {
+  event.cycle = now_;
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % buffer_.size();
+  size_ = std::min(size_ + 1, buffer_.size());
+  ++total_emitted_;
+}
+
+std::vector<TraceEvent> TraceSink::InOrder() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // When full, head_ points at the oldest event; otherwise the buffer
+  // starts at index 0.
+  const std::size_t start = size_ == buffer_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::OfKind(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : InOrder()) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t TraceSink::CountKind(TraceEventKind kind) const {
+  std::size_t n = 0;
+  const std::size_t start = size_ == buffer_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (buffer_[(start + i) % buffer_.size()].kind == kind) ++n;
+  }
+  return n;
+}
+
+void TraceSink::Clear() {
+  head_ = 0;
+  size_ = 0;
+  total_emitted_ = 0;
+}
+
+}  // namespace dlpsim

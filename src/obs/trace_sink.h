@@ -1,0 +1,60 @@
+// Fixed-capacity ring buffer of trace events.
+//
+// Emitters hold a nullable TraceSink*; when tracing is off the hot path
+// pays exactly one pointer comparison per hook. When the buffer is full
+// the oldest event is overwritten (the tail of a run is usually the
+// interesting part) and the drop is counted, so consumers can tell a
+// complete trace from a windowed one.
+//
+// The sink also carries the "current cycle" so that policy code -- whose
+// hooks do not receive timestamps -- can emit correctly stamped events:
+// the L1D front end calls SetNow() once per access/fill before any
+// emission.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_event.h"
+#include "sim/types.h"
+
+namespace dlpsim {
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity);
+
+  /// Stamp applied to every subsequent Emit().
+  void SetNow(Cycle now) { now_ = now; }
+  Cycle now() const { return now_; }
+
+  /// Records `event` (its `cycle` field is overwritten with now()).
+  void Emit(TraceEvent event);
+
+  std::size_t capacity() const { return buffer_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint64_t total_emitted() const { return total_emitted_; }
+  std::uint64_t dropped() const { return total_emitted_ - size_; }
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> InOrder() const;
+
+  /// Retained events of one kind, oldest first.
+  std::vector<TraceEvent> OfKind(TraceEventKind kind) const;
+
+  /// Count of *retained* events of `kind`.
+  std::size_t CountKind(TraceEventKind kind) const;
+
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+  std::uint64_t total_emitted_ = 0;
+  Cycle now_ = 0;
+};
+
+}  // namespace dlpsim

@@ -1,0 +1,177 @@
+// Pins the AccessObserver contract (called once per *completed* access
+// with the pre-policy TDA outcome, never on kReservationFail) and the
+// ToString(AccessResult) names the exporters rely on.
+#include "cache/observer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/l1d_cache.h"
+
+namespace dlpsim {
+namespace {
+
+L1DConfig SmallConfig(PolicyKind kind = PolicyKind::kBaseline) {
+  L1DConfig cfg;
+  cfg.geom.sets = 2;
+  cfg.geom.ways = 2;
+  cfg.geom.index = IndexFunction::kLinear;
+  cfg.mshr_entries = 4;
+  cfg.mshr_max_merged = 2;
+  cfg.miss_queue_entries = 4;
+  cfg.policy = kind;
+  return cfg;
+}
+
+MemAccess Load(Addr addr, Pc pc = 0, MshrToken token = 1) {
+  return MemAccess{addr, AccessType::kLoad, pc, token};
+}
+
+MemAccess Store(Addr addr, Pc pc = 0) {
+  return MemAccess{addr, AccessType::kStore, pc, 0};
+}
+
+struct Seen {
+  std::uint32_t set;
+  Addr block;
+  Pc pc;
+  AccessType type;
+  bool hit;
+};
+
+class RecordingObserver : public AccessObserver {
+ public:
+  void OnAccess(std::uint32_t set, Addr block, Pc pc, AccessType type,
+                bool hit) override {
+    seen.push_back({set, block, pc, type, hit});
+  }
+  std::vector<Seen> seen;
+};
+
+TEST(AccessResultNames, AllSixValuesPinned) {
+  EXPECT_STREQ(ToString(AccessResult::kHit), "hit");
+  EXPECT_STREQ(ToString(AccessResult::kMissIssued), "miss_issued");
+  EXPECT_STREQ(ToString(AccessResult::kMissMerged), "miss_merged");
+  EXPECT_STREQ(ToString(AccessResult::kBypassed), "bypassed");
+  EXPECT_STREQ(ToString(AccessResult::kStoreSent), "store_sent");
+  EXPECT_STREQ(ToString(AccessResult::kReservationFail), "reservation_fail");
+}
+
+TEST(AccessObserver, SeesPrePolicyOutcomeOncePerAccess) {
+  L1DCache cache(SmallConfig());
+  RecordingObserver obs;
+  cache.SetObserver(&obs);
+
+  // Cold miss: observed as miss with the access identity intact.
+  EXPECT_EQ(cache.Access(Load(0, 7), 0), AccessResult::kMissIssued);
+  ASSERT_EQ(obs.seen.size(), 1u);
+  EXPECT_FALSE(obs.seen[0].hit);
+  EXPECT_EQ(obs.seen[0].block, 0u);
+  EXPECT_EQ(obs.seen[0].pc, 7u);
+  EXPECT_EQ(obs.seen[0].type, AccessType::kLoad);
+
+  // Merged miss is still one observed (non-hit) access.
+  EXPECT_EQ(cache.Access(Load(0, 7, 2), 1), AccessResult::kMissMerged);
+  ASSERT_EQ(obs.seen.size(), 2u);
+  EXPECT_FALSE(obs.seen[1].hit);
+
+  std::vector<MshrToken> woken;
+  while (cache.HasOutgoing()) {
+    const L1DOutgoing out = cache.PopOutgoing();
+    if (!out.write) {
+      cache.Fill(L1DResponse{out.block, out.no_fill, out.token}, 0, woken);
+    }
+  }
+
+  // Filled-line hit: observed with hit = true.
+  EXPECT_EQ(cache.Access(Load(0, 7), 2), AccessResult::kHit);
+  ASSERT_EQ(obs.seen.size(), 3u);
+  EXPECT_TRUE(obs.seen[2].hit);
+}
+
+TEST(AccessObserver, NotCalledOnReservationFail) {
+  L1DCache cache(SmallConfig());
+  RecordingObserver obs;
+  cache.SetObserver(&obs);
+
+  ASSERT_EQ(cache.Access(Load(0, 0, 1), 0), AccessResult::kMissIssued);
+  ASSERT_EQ(cache.Access(Load(0, 0, 2), 1), AccessResult::kMissMerged);
+  // Merge limit (2) reached: baseline stalls, and the failed access must
+  // not reach the observer (the LD/ST unit will retry it).
+  ASSERT_EQ(cache.Access(Load(0, 0, 3), 2), AccessResult::kReservationFail);
+  EXPECT_EQ(obs.seen.size(), 2u);
+
+  // The retry that eventually completes is observed exactly once.
+  std::vector<MshrToken> woken;
+  while (cache.HasOutgoing()) {
+    const L1DOutgoing out = cache.PopOutgoing();
+    if (!out.write) {
+      cache.Fill(L1DResponse{out.block, out.no_fill, out.token}, 0, woken);
+    }
+  }
+  EXPECT_EQ(cache.Access(Load(0, 0, 3), 3), AccessResult::kHit);
+  EXPECT_EQ(obs.seen.size(), 3u);
+}
+
+TEST(AccessObserver, BypassedLoadIsStillObserved) {
+  // Under stall-bypass, a miss with no insertable victim goes around the
+  // cache -- but the access still happened and must be observed.
+  L1DCache cache(SmallConfig(PolicyKind::kStallBypass));
+  RecordingObserver obs;
+  cache.SetObserver(&obs);
+
+  // Fill both ways of set 0, then saturate the MSHRs so the next distinct
+  // miss converts to a resource bypass.
+  std::vector<MshrToken> woken;
+  auto drain = [&] {
+    while (cache.HasOutgoing()) {
+      const L1DOutgoing out = cache.PopOutgoing();
+      if (!out.write) {
+        cache.Fill(L1DResponse{out.block, out.no_fill, out.token}, 0, woken);
+      }
+    }
+  };
+  ASSERT_EQ(cache.Access(Load(0 * 256), 0), AccessResult::kMissIssued);
+  ASSERT_EQ(cache.Access(Load(1 * 256), 1), AccessResult::kMissIssued);
+  drain();
+  obs.seen.clear();
+
+  // Two distinct misses reserve both ways of set 0...
+  ASSERT_EQ(cache.Access(Load(2 * 256, 0, 11), 2), AccessResult::kMissIssued);
+  ASSERT_EQ(cache.Access(Load(3 * 256, 0, 12), 3), AccessResult::kMissIssued);
+  // ...so this distinct miss finds no victim and bypasses.
+  ASSERT_EQ(cache.Access(Load(4 * 256, 0, 13), 4), AccessResult::kBypassed);
+  ASSERT_EQ(obs.seen.size(), 3u);
+  EXPECT_FALSE(obs.seen.back().hit);
+  EXPECT_EQ(obs.seen.back().block, 4u * 2);  // 256B = 2 x 128B lines
+}
+
+TEST(AccessObserver, StoreHitFlagReflectsTdaPresence) {
+  L1DCache cache(SmallConfig());
+  RecordingObserver obs;
+  cache.SetObserver(&obs);
+
+  // Store miss: write-through, observed as non-hit.
+  EXPECT_EQ(cache.Access(Store(0), 0), AccessResult::kStoreSent);
+  ASSERT_EQ(obs.seen.size(), 1u);
+  EXPECT_EQ(obs.seen[0].type, AccessType::kStore);
+  EXPECT_FALSE(obs.seen[0].hit);
+
+  // Load the line in, then store to it: observed as a (store) hit.
+  std::vector<MshrToken> woken;
+  cache.Access(Load(0), 1);
+  while (cache.HasOutgoing()) {
+    const L1DOutgoing out = cache.PopOutgoing();
+    if (!out.write) {
+      cache.Fill(L1DResponse{out.block, out.no_fill, out.token}, 0, woken);
+    }
+  }
+  obs.seen.clear();
+  EXPECT_EQ(cache.Access(Store(0), 2), AccessResult::kStoreSent);
+  ASSERT_EQ(obs.seen.size(), 1u);
+  EXPECT_TRUE(obs.seen[0].hit);
+}
+
+}  // namespace
+}  // namespace dlpsim

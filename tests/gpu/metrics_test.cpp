@@ -35,6 +35,43 @@ TEST(Metrics, ZeroSafeDerived) {
   EXPECT_DOUBLE_EQ(m.avg_load_latency(), 0.0);
 }
 
+TEST(Metrics, HitRateClampsWhenBypassesExceedLoads) {
+  // Regression: stores can bypass too, so l1d_bypasses may exceed
+  // l1d_loads; the old `loads - bypasses` underflowed to ~2^64 and the
+  // hit rate collapsed to ~0 instead of 1.
+  Metrics m;
+  m.l1d_loads = 10;
+  m.l1d_load_hits = 10;
+  m.l1d_bypasses = 25;
+  EXPECT_DOUBLE_EQ(m.l1d_hit_rate(), 0.0);  // no serviced loads -> defined 0
+  EXPECT_GE(m.l1d_hit_rate(), 0.0);
+  EXPECT_LE(m.l1d_hit_rate(), 1.0);
+
+  m.l1d_accesses = 20;
+  EXPECT_EQ(m.l1d_traffic(), 0u);  // clamped, not wrapped
+
+  // Equal counts hit the boundary exactly.
+  m.l1d_bypasses = 10;
+  EXPECT_DOUBLE_EQ(m.l1d_hit_rate(), 0.0);
+}
+
+TEST(Metrics, FieldTableCoversTextSerialization) {
+  // MetricsFields() drives ToText/JSON/CSV/timeline deltas alike; every
+  // reflected field must survive the text round trip.
+  Metrics m;
+  std::uint64_t seed = 3;
+  for (const MetricsField& f : MetricsFields()) {
+    m.*(f.member) = seed;
+    seed += 17;
+  }
+  bool ok = false;
+  const Metrics back = Metrics::FromText(m.ToText(), &ok);
+  ASSERT_TRUE(ok);
+  for (const MetricsField& f : MetricsFields()) {
+    EXPECT_EQ(back.*(f.member), m.*(f.member)) << f.name;
+  }
+}
+
 TEST(Metrics, TextRoundTrip) {
   Metrics m;
   m.core_cycles = 123;

@@ -1,0 +1,111 @@
+// Ring-buffer semantics of the trace sink: ordering, wrap/overflow
+// accounting, cycle stamping and kind filtering.
+#include "obs/trace_sink.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TraceEvent Ev(TraceEventKind kind, std::uint64_t arg0 = 0) {
+  TraceEvent e;
+  e.kind = kind;
+  e.arg0 = arg0;
+  return e;
+}
+
+TEST(TraceSink, StoresEventsInOrderBelowCapacity) {
+  TraceSink sink(8);
+  EXPECT_TRUE(sink.empty());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    sink.SetNow(100 + i);
+    sink.Emit(Ev(TraceEventKind::kAccess, i));
+  }
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.total_emitted(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+
+  const auto events = sink.InOrder();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].arg0, i);
+    EXPECT_EQ(events[i].cycle, 100 + i);  // stamped from SetNow
+  }
+}
+
+TEST(TraceSink, WrapOverwritesOldestAndCountsDrops) {
+  TraceSink sink(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink.SetNow(i);
+    sink.Emit(Ev(TraceEventKind::kAccess, i));
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.total_emitted(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+
+  // The four *youngest* events survive, oldest-first.
+  const auto events = sink.InOrder();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].arg0, 6 + i);
+    EXPECT_EQ(events[i].cycle, 6 + i);
+  }
+}
+
+TEST(TraceSink, ExactlyFullDoesNotDrop) {
+  TraceSink sink(3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    sink.Emit(Ev(TraceEventKind::kFill, i));
+  }
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.InOrder().front().arg0, 0u);
+  EXPECT_EQ(sink.InOrder().back().arg0, 2u);
+}
+
+TEST(TraceSink, KindFilters) {
+  TraceSink sink(16);
+  sink.Emit(Ev(TraceEventKind::kAccess));
+  sink.Emit(Ev(TraceEventKind::kBypass));
+  sink.Emit(Ev(TraceEventKind::kAccess));
+  sink.Emit(Ev(TraceEventKind::kEviction));
+  EXPECT_EQ(sink.CountKind(TraceEventKind::kAccess), 2u);
+  EXPECT_EQ(sink.CountKind(TraceEventKind::kBypass), 1u);
+  EXPECT_EQ(sink.CountKind(TraceEventKind::kPdSample), 0u);
+  EXPECT_EQ(sink.OfKind(TraceEventKind::kEviction).size(), 1u);
+}
+
+TEST(TraceSink, ClearResetsEverything) {
+  TraceSink sink(2);
+  sink.Emit(Ev(TraceEventKind::kAccess));
+  sink.Emit(Ev(TraceEventKind::kAccess));
+  sink.Emit(Ev(TraceEventKind::kAccess));
+  sink.Clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.total_emitted(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_TRUE(sink.InOrder().empty());
+}
+
+TEST(TraceSink, ZeroCapacityIsClampedToOne) {
+  TraceSink sink(0);
+  EXPECT_EQ(sink.capacity(), 1u);
+  sink.Emit(Ev(TraceEventKind::kAccess, 1));
+  sink.Emit(Ev(TraceEventKind::kAccess, 2));
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.InOrder()[0].arg0, 2u);
+}
+
+TEST(TraceSink, KindNames) {
+  EXPECT_STREQ(ToString(TraceEventKind::kAccess), "access");
+  EXPECT_STREQ(ToString(TraceEventKind::kBypass), "bypass");
+  EXPECT_STREQ(ToString(TraceEventKind::kEviction), "eviction");
+  EXPECT_STREQ(ToString(TraceEventKind::kFill), "fill");
+  EXPECT_STREQ(ToString(TraceEventKind::kVtaHit), "vta_hit");
+  EXPECT_STREQ(ToString(TraceEventKind::kPdSample), "pd_sample");
+  EXPECT_STREQ(ToString(TraceEventKind::kPlSaturated), "pl_saturated");
+}
+
+}  // namespace
+}  // namespace dlpsim
