@@ -6,10 +6,12 @@
 //   (d) PD field width (4 bits).
 // Each ablation reruns a representative CI subset under DLP and reports
 // the IPC delta against the configured default.
+#include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "analysis/report.h"
+#include "exec/run_grid.h"
 #include "gpu/simulator.h"
 #include "harness.h"
 #include "workloads/registry.h"
@@ -31,6 +33,7 @@ double RunDlp(const std::string& app, const ProtectionConfig& prot) {
 }  // namespace
 
 int main() {
+  bench::TimingScope timing("bench_ablation");
   std::cout << "=== Ablations of DLP design choices (DLP IPC, normalized "
                "to the paper-default DLP) ===\n\n";
 
@@ -81,20 +84,30 @@ int main() {
   for (const auto& a : kApps) headers.push_back(a);
   TextTable t(headers);
 
-  std::vector<std::vector<double>> base_ipc;
+  // Every (variant, app) cell is an independent simulation; run them all
+  // through the executor, then print in the original order. Variants
+  // bypass the harness cache (custom ProtectionConfigs have no cache
+  // key), so each cell is timed and logged here.
+  const std::size_t num_apps = kApps.size();
+  const std::vector<double> ipc = exec::ParallelMap(
+      variants.size() * num_apps, [&](std::size_t i) {
+        const Variant& v = variants[i / num_apps];
+        const std::string& app = kApps[i % num_apps];
+        const auto t0 = std::chrono::steady_clock::now();
+        const double r = RunDlp(app, v.prot);
+        const auto t1 = std::chrono::steady_clock::now();
+        bench::Timing().Record(
+            {app, v.name, std::chrono::duration<double>(t1 - t0).count(),
+             /*cached=*/false});
+        return r;
+      });
+
   for (std::size_t v = 0; v < variants.size(); ++v) {
     std::vector<std::string> row = {variants[v].name};
-    std::vector<double> ipcs;
-    for (std::size_t a = 0; a < kApps.size(); ++a) {
-      const double ipc = RunDlp(kApps[a], variants[v].prot);
-      ipcs.push_back(ipc);
-      if (v == 0) {
-        row.push_back(Fmt(1.0, 3));
-      } else {
-        row.push_back(Fmt(ipc / base_ipc[0][a], 3));
-      }
+    for (std::size_t a = 0; a < num_apps; ++a) {
+      row.push_back(v == 0 ? Fmt(1.0, 3)
+                           : Fmt(ipc[v * num_apps + a] / ipc[a], 3));
     }
-    base_ipc.push_back(ipcs);
     t.AddRow(row);
   }
   std::cout << t.Render() << '\n';

@@ -10,8 +10,12 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_fig03_rdd");
   std::cout << "=== Fig. 3: Reuse Distance Distribution per application "
                "===\n\n";
+  // Simulate the whole grid in parallel (DLPSIM_JOBS workers); the
+  // loops below then hit the in-process memo.
+  bench::RunGrid(bench::AllAppAbbrs(), {"base"});
   TextTable t({"app", "type", "rd 1~4", "rd 5~8", "rd 9~64", "rd >65",
                "re-refs"});
   for (const AppInfo& app : AllApps()) {

@@ -9,7 +9,11 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_fig04_missrate");
   std::cout << "=== Fig. 4: reuse-data miss rate vs cache size ===\n\n";
+  // Simulate the whole grid in parallel (DLPSIM_JOBS workers); the
+  // loops below then hit the in-process memo.
+  bench::RunGrid(bench::AllAppAbbrs(), {"base", "32kb", "64kb"});
   TextTable t({"app", "type", "16KB", "32KB", "64KB"});
   for (const AppInfo& app : AllApps()) {
     t.AddRow({app.abbr, app.cache_insufficient ? "CI" : "CS",

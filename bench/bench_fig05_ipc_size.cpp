@@ -9,7 +9,11 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_fig05_ipc_size");
   std::cout << "=== Fig. 5: normalized IPC vs L1D cache size ===\n\n";
+  // Simulate the whole grid in parallel (DLPSIM_JOBS workers); the
+  // loops below then hit the in-process memo.
+  bench::RunGrid(bench::AllAppAbbrs(), {"base", "32kb", "64kb"});
   TextTable t({"app", "type", "16KB", "32KB", "64KB"});
   for (const AppInfo& app : AllApps()) {
     const double base = bench::Run(app.abbr, "base").metrics.ipc();

@@ -13,12 +13,16 @@ using namespace dlpsim;
 using dlpsim::bench::Run;
 
 int main() {
+  bench::TimingScope timing("bench_fig10_ipc");
   std::cout << "=== Fig. 10: normalized IPC "
                "(baseline / Stall-Bypass / Global-Protection / DLP / 32KB) "
                "===\n\n";
 
   const std::vector<std::string> configs = {"base", "sb", "gp", "dlp",
                                             "32kb"};
+  // Simulate the whole grid in parallel (DLPSIM_JOBS workers); the
+  // loops below then hit the in-process memo.
+  bench::RunGrid(bench::AllAppAbbrs(), configs);
   TextTable t({"app", "type", "16KB(base)", "Stall-Bypass",
                "Global-Protection", "DLP", "32KB"});
 

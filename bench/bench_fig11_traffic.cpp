@@ -44,6 +44,10 @@ void Emit(const char* title, double (*metric)(const Metrics&)) {
 }  // namespace
 
 int main() {
+  bench::TimingScope timing("bench_fig11_traffic");
+  // Simulate the whole grid in parallel (DLPSIM_JOBS workers); the
+  // loops below then hit the in-process memo.
+  bench::RunGrid(bench::AllAppAbbrs(), {"base", "sb", "gp", "dlp"});
   Emit("=== Fig. 11a: normalized L1D traffic ===", [](const Metrics& m) {
     return static_cast<double>(m.l1d_traffic());
   });

@@ -10,7 +10,11 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_fig12_hits");
   const std::vector<std::string> configs = {"base", "sb", "gp", "dlp"};
+  // Simulate the whole grid in parallel (DLPSIM_JOBS workers); the
+  // loops below then hit the in-process memo.
+  bench::RunGrid(bench::AllAppAbbrs(), configs);
 
   std::cout << "=== Fig. 12a: L1D hit rate ===\n\n";
   TextTable ta({"app", "type", "16KB(base)", "Stall-Bypass",

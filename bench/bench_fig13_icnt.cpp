@@ -10,8 +10,12 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_fig13_icnt");
   std::cout << "=== Fig. 13: normalized interconnect traffic ===\n\n";
   const std::vector<std::string> configs = {"base", "sb", "gp", "dlp"};
+  // Simulate the whole grid in parallel (DLPSIM_JOBS workers); the
+  // loops below then hit the in-process memo.
+  bench::RunGrid(bench::AllAppAbbrs(), configs);
   TextTable t({"app", "type", "16KB(base)", "Stall-Bypass",
                "Global-Protection", "DLP", "(L1D share)"});
   std::vector<double> geo_cs[4];

@@ -10,6 +10,7 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_overhead");
   std::cout << "=== SS4.3: DLP hardware overhead ===\n\n";
   const SimConfig cfg = SimConfig::Baseline16KB();
   const OverheadReport r = ComputeOverhead(cfg.l1d);

@@ -8,6 +8,7 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_table1_config");
   const SimConfig cfg = SimConfig::Baseline16KB();
   std::cout << "=== Table 1: baseline GPU configuration (Tesla M2090 / "
                "Fermi) ===\n\n";

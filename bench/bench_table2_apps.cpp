@@ -9,6 +9,7 @@
 using namespace dlpsim;
 
 int main() {
+  bench::TimingScope timing("bench_table2_apps");
   std::cout << "=== Table 2: benchmark applications ===\n\n";
   TextTable t({"abbr", "name", "suite", "type", "input", "mem PCs",
                "static ratio", "warps/SM"});

@@ -1,13 +1,18 @@
 #include "harness.h"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "analysis/per_sm_profiler.h"
+#include "exec/run_grid.h"
 #include "gpu/simulator.h"
 #include "obs/exporters.h"
 #include "obs/timeline.h"
@@ -18,8 +23,14 @@ namespace dlpsim::bench {
 
 namespace {
 // Bump when the simulator or the workload calibration changes; stale cache
-// entries are keyed away automatically.
-constexpr const char* kCacheVersion = "v1";
+// entries are keyed away automatically. v2: entries carry a completion
+// footer so truncated files are never served.
+constexpr const char* kCacheVersion = "v2";
+
+// Written as the last line of every cache entry; a file without it was
+// interrupted mid-write (pre-rename crashes can no longer produce that,
+// but entries from other writers stay verifiable).
+constexpr const char* kCacheFooter = "#complete";
 
 std::string CacheDir() {
   if (const char* env = std::getenv("DLPSIM_CACHE_DIR")) return env;
@@ -40,6 +51,11 @@ bool CacheEnabled() {
 std::string TraceOutDir() {
   if (const char* env = std::getenv("DLPSIM_TRACE_OUT")) return env;
   return "dlpsim_trace";
+}
+
+std::string TimingDir() {
+  if (const char* env = std::getenv("DLPSIM_TIMING_DIR")) return env;
+  return ".";
 }
 
 std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
@@ -63,6 +79,12 @@ const std::vector<std::string>& ConfigNames() {
   static const std::vector<std::string> kNames = {"base", "sb",   "gp",
                                                   "dlp",  "32kb", "64kb"};
   return kNames;
+}
+
+std::vector<std::string> AllAppAbbrs() {
+  std::vector<std::string> abbrs;
+  for (const AppInfo& app : AllApps()) abbrs.push_back(app.abbr);
+  return abbrs;
 }
 
 SimConfig ConfigFor(const std::string& name) {
@@ -124,9 +146,10 @@ ProfileResult ProfileResult::FromText(const std::string& text, bool* ok) {
 
 namespace {
 
-std::string KeyFor(const std::string& abbr, const std::string& config) {
+std::string KeyFor(const std::string& abbr, const std::string& config,
+                   double scale) {
   std::ostringstream os;
-  os << kCacheVersion << '_' << abbr << '_' << config << "_s" << Scale();
+  os << kCacheVersion << '_' << abbr << '_' << config << "_s" << scale;
   return os.str();
 }
 
@@ -134,7 +157,7 @@ std::string KeyFor(const std::string& abbr, const std::string& config) {
 /// run into DLPSIM_TRACE_OUT. Failures are reported on stderr and never
 /// affect the run's results.
 void ExportTrace(const std::string& abbr, const std::string& config,
-                 const SimConfig& cfg, const Metrics& metrics,
+                 double scale, const SimConfig& cfg, const Metrics& metrics,
                  const TimelineSampler& timeline, const TraceSink& sink) {
   namespace fs = std::filesystem;
   const fs::path dir = TraceOutDir();
@@ -146,7 +169,7 @@ void ExportTrace(const std::string& abbr, const std::string& config,
     return;
   }
   const std::string stem = abbr + "_" + config;
-  const RunReportInfo info{.app = abbr, .config = config, .scale = Scale()};
+  const RunReportInfo info{.app = abbr, .config = config, .scale = scale};
 
   const fs::path report = dir / (stem + ".report.json");
   {
@@ -168,9 +191,12 @@ void ExportTrace(const std::string& abbr, const std::string& config,
             << chrome.string() << ", " << csv.string() << '\n';
 }
 
-RunResult Simulate(const std::string& abbr, const std::string& config) {
+}  // namespace
+
+RunResult SimulateUncached(const std::string& abbr, const std::string& config,
+                           double scale) {
   const SimConfig cfg = ConfigFor(config);
-  Workload wl = MakeWorkload(abbr, Scale());
+  Workload wl = MakeWorkload(abbr, scale);
 
   GpuSimulator gpu(cfg, wl.program.get(), wl.warps_per_sm);
   PerSmProfiler profiler(cfg.num_cores, cfg.l1d.geom.sets);
@@ -193,42 +219,183 @@ RunResult Simulate(const std::string& abbr, const std::string& config) {
   result.profile.compulsory = profiler.compulsory_accesses();
 
   if (tracing) {
-    ExportTrace(abbr, config, cfg, result.metrics, timeline, sink);
+    ExportTrace(abbr, config, scale, cfg, result.metrics, timeline, sink);
   }
   return result;
 }
 
-}  // namespace
+std::filesystem::path CachePathFor(const std::string& abbr,
+                                   const std::string& config, double scale) {
+  return std::filesystem::path(CacheDir()) /
+         (KeyFor(abbr, config, scale) + ".txt");
+}
 
-RunResult Run(const std::string& abbr, const std::string& config) {
+bool LoadCacheFile(const std::filesystem::path& path, RunResult* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // A complete entry ends with the footer line the writer appends last.
+  const std::string footer = std::string(kCacheFooter) + "\n";
+  if (text.size() < footer.size() ||
+      text.compare(text.size() - footer.size(), footer.size(), footer) != 0) {
+    return false;
+  }
+  const auto sep = text.find("---\n");
+  if (sep == std::string::npos) return false;
+
+  bool ok_m = false;
+  bool ok_p = false;
+  RunResult r;
+  r.metrics = Metrics::FromText(text.substr(0, sep), &ok_m);
+  r.profile = ProfileResult::FromText(text.substr(sep + 4), &ok_p);
+  if (!ok_m || !ok_p) return false;
+  if (out != nullptr) *out = r;
+  return true;
+}
+
+void StoreCacheFile(const std::filesystem::path& path, const RunResult& r) {
   namespace fs = std::filesystem;
-  const fs::path path = fs::path(CacheDir()) / (KeyFor(abbr, config) + ".txt");
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
 
-  if (CacheEnabled() && fs::exists(path)) {
-    std::ifstream in(path);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    const auto sep = text.find("---\n");
-    if (sep != std::string::npos) {
-      bool ok_m = false;
-      bool ok_p = false;
-      RunResult r;
-      r.metrics = Metrics::FromText(text.substr(0, sep), &ok_m);
-      r.profile = ProfileResult::FromText(text.substr(sep + 4), &ok_p);
-      if (ok_m && ok_p) return r;
+  // Unique temp name per process and thread so concurrent writers of the
+  // same cell never collide; rename() is atomic within the directory.
+  std::ostringstream tmp_name;
+  tmp_name << path.filename().string() << ".tmp." << ::getpid() << '.'
+           << std::this_thread::get_id();
+  const fs::path tmp = path.parent_path() / tmp_name.str();
+  {
+    std::ofstream out(tmp);
+    out << r.metrics.ToText() << "---\n"
+        << r.profile.ToText() << kCacheFooter << '\n';
+    if (!out) {
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+exec::TimingLog& Timing() {
+  static exec::TimingLog log;
+  return log;
+}
+
+// Constructing the scope starts the global log's wall clock (the
+// function-local static would otherwise first be touched after the
+// first simulation already finished).
+TimingScope::TimingScope(std::string name) : name_(std::move(name)) {
+  Timing();
+}
+
+TimingScope::~TimingScope() {
+  namespace fs = std::filesystem;
+  const fs::path dir = TimingDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path path = dir / (name_ + "_timing.json");
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "[timing] cannot write " << path << '\n';
+    return;
+  }
+  // Mirror RunGrid's worker-count resolution so the report names the
+  // job count actually used (tracing forces serial).
+  const std::size_t jobs = TraceEnabled() ? 1 : exec::DefaultJobs();
+  Timing().WriteJson(os, name_, jobs, Scale());
+}
+
+namespace {
+
+/// Loads the cell from disk or simulates it (recording timing), then
+/// stores it back. Exactly one thread per cell runs this (see Run).
+RunResult LoadOrSimulate(const std::string& abbr, const std::string& config,
+                         double scale) {
+  const std::filesystem::path path = CachePathFor(abbr, config, scale);
+
+  if (CacheEnabled()) {
+    RunResult cached;
+    if (LoadCacheFile(path, &cached)) {
+      Timing().Record({abbr, config, 0.0, /*cached=*/true});
+      return cached;
     }
   }
 
-  RunResult r = Simulate(abbr, config);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r = SimulateUncached(abbr, config, scale);
+  const auto t1 = std::chrono::steady_clock::now();
+  Timing().Record({abbr, config, std::chrono::duration<double>(t1 - t0).count(),
+                   /*cached=*/false});
 
-  if (CacheEnabled()) {
-    std::error_code ec;
-    fs::create_directories(CacheDir(), ec);
-    std::ofstream out(path);
-    out << r.metrics.ToText() << "---\n" << r.profile.ToText();
-  }
+  if (CacheEnabled()) StoreCacheFile(path, r);
   return r;
+}
+
+/// In-process memo: single-flight per cell. std::map gives reference
+/// stability, so call_once can run outside the registry lock.
+struct CellState {
+  std::once_flag once;
+  RunResult result;
+  std::exception_ptr error;
+};
+
+struct Memo {
+  std::mutex mu;
+  std::map<std::string, CellState> cells;
+};
+
+Memo& GlobalMemo() {
+  static Memo memo;
+  return memo;
+}
+
+}  // namespace
+
+RunResult Run(const std::string& abbr, const std::string& config,
+              double scale) {
+  Memo& memo = GlobalMemo();
+  CellState* cell = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(memo.mu);
+    cell = &memo.cells[KeyFor(abbr, config, scale)];
+  }
+  std::call_once(cell->once, [&] {
+    try {
+      cell->result = LoadOrSimulate(abbr, config, scale);
+    } catch (...) {
+      cell->error = std::current_exception();
+    }
+  });
+  if (cell->error) std::rethrow_exception(cell->error);
+  return cell->result;
+}
+
+RunResult Run(const std::string& abbr, const std::string& config) {
+  return Run(abbr, config, Scale());
+}
+
+std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
+                               const std::vector<std::string>& configs,
+                               double scale, std::size_t jobs) {
+  if (jobs == 0) jobs = exec::DefaultJobs();
+  // Each simulated run owns a private trace sink/timeline, so tracing is
+  // safe at any job count; serial keeps the [trace] log and the export
+  // order deterministic.
+  if (TraceEnabled()) jobs = 1;
+  const std::vector<exec::Job> grid = exec::Grid(apps, configs);
+  return exec::RunJobs(
+      grid, [scale](const exec::Job& j) { return Run(j.app, j.config, scale); },
+      jobs);
+}
+
+std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
+                               const std::vector<std::string>& configs,
+                               std::size_t jobs) {
+  return RunGrid(apps, configs, Scale(), jobs);
 }
 
 double Normalize(double value, double base) {

@@ -1,20 +1,40 @@
 // Shared run harness for the figure-reproduction benches.
 //
 // Every bench needs the same (app x configuration) simulation grid, so
-// runs are memoized in an on-disk cache keyed by app, configuration name,
-// scale and a harness version stamp. Each run also records reuse-distance
-// and reuse-miss profiles so the motivation figures (3/4/7) come from the
-// same simulations as the evaluation figures (10-13).
+// runs are memoized twice: in-process (thread-safe, single-flight -- two
+// threads asking for the same cell never simulate it twice) and in an
+// on-disk cache keyed by app, configuration name, scale and a harness
+// version stamp. Cache files are written to a temp name and atomically
+// renamed into place, so a killed or concurrent bench can never leave a
+// partially written entry that parses as a bogus result.
+//
+// RunGrid() executes a whole (apps x configs) matrix through the
+// src/exec/ parallel executor: each cell is an isolated, deterministic
+// simulation scheduled on a fixed-size thread pool, and results come
+// back in grid order. DLPSIM_JOBS=1 reproduces the serial path bit for
+// bit; any other value produces byte-identical results (enforced by
+// tests/exec/determinism_test.cpp).
+//
+// Each run also records reuse-distance and reuse-miss profiles so the
+// motivation figures (3/4/7) come from the same simulations as the
+// evaluation figures (10-13).
 //
 // Environment knobs:
 //   DLPSIM_SCALE      - iteration scale factor (default 1.0)
+//   DLPSIM_JOBS       - worker threads for RunGrid (default: hardware
+//                       concurrency; 1 = serial)
 //   DLPSIM_CACHE_DIR  - cache directory (default ./.dlpsim_cache)
-//   DLPSIM_NOCACHE    - set to disable the cache entirely
+//   DLPSIM_NOCACHE    - set to disable the on-disk cache entirely
+//   DLPSIM_TIMING_DIR - where TimingScope writes <bench>_timing.json
+//                       (default ".")
 //   DLPSIM_TRACE      - set to 1 to trace every simulated run: a JSON
 //                       run report, a Chrome trace-event file (Perfetto /
 //                       chrome://tracing) and a timeline CSV are written
 //                       per (app, config). Implies DLPSIM_NOCACHE so
-//                       every run actually simulates. Tracing never
+//                       every run actually simulates, and forces
+//                       RunGrid to jobs=1 (each run owns a private sink
+//                       either way; serial keeps the [trace] log and the
+//                       export order deterministic). Tracing never
 //                       changes simulation results or the printed tables.
 //   DLPSIM_TRACE_OUT  - trace output directory (default ./dlpsim_trace)
 //   DLPSIM_TRACE_EVENTS   - trace ring-buffer capacity (default 1048576)
@@ -23,11 +43,13 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/rd_profiler.h"
+#include "exec/timing.h"
 #include "gpu/metrics.h"
 #include "sim/config.h"
 #include "sim/types.h"
@@ -41,6 +63,10 @@ namespace dlpsim::bench {
 ///   64kb  - 16-way LRU
 const std::vector<std::string>& ConfigNames();
 SimConfig ConfigFor(const std::string& name);
+
+/// Abbreviations of every registered application, in registry order
+/// (convenience for RunGrid warm-up calls).
+std::vector<std::string> AllAppAbbrs();
 
 struct ProfileResult {
   RddHistogram global;
@@ -65,7 +91,62 @@ struct RunResult {
 };
 
 /// Runs (or loads from cache) app `abbr` under configuration `config`.
+/// Thread-safe; concurrent callers asking for the same cell share one
+/// simulation (single-flight).
 RunResult Run(const std::string& abbr, const std::string& config);
+RunResult Run(const std::string& abbr, const std::string& config,
+              double scale);
+
+/// Runs the whole (apps x configs) grid through the parallel executor
+/// and returns results in app-major grid order: cell (a, c) at index
+/// a * configs.size() + c. jobs == 0 resolves DLPSIM_JOBS (default:
+/// hardware concurrency); DLPSIM_TRACE forces jobs = 1.
+std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
+                               const std::vector<std::string>& configs,
+                               std::size_t jobs = 0);
+std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
+                               const std::vector<std::string>& configs,
+                               double scale, std::size_t jobs);
+
+/// Always simulates (no memo, no disk cache). The determinism tests use
+/// this to compare thread-pool execution against the serial path.
+RunResult SimulateUncached(const std::string& abbr, const std::string& config,
+                           double scale);
+
+// --- on-disk cache plumbing (exposed for tests and tools) ---
+
+/// Cache file path for one cell (under DLPSIM_CACHE_DIR).
+std::filesystem::path CachePathFor(const std::string& abbr,
+                                   const std::string& config, double scale);
+
+/// Loads a cache file; false on missing, truncated or unparsable entries
+/// (a valid entry carries the "#complete" footer the writer appends last).
+bool LoadCacheFile(const std::filesystem::path& path, RunResult* out);
+
+/// Writes atomically: temp file in the same directory + rename() into
+/// place, so readers never observe a partial entry. Best-effort (cache
+/// write failures never fail a bench).
+void StoreCacheFile(const std::filesystem::path& path, const RunResult& r);
+
+// --- wall-clock telemetry ---
+
+/// Global per-process timing log; Run/SimulateUncached record one cell
+/// per simulation (cached loads are recorded with cached=true).
+exec::TimingLog& Timing();
+
+/// RAII: writes DLPSIM_TIMING_DIR/<name>_timing.json on destruction with
+/// per-cell sim seconds, total wall time and the job count used.
+class TimingScope {
+ public:
+  explicit TimingScope(std::string name);
+  ~TimingScope();
+
+  TimingScope(const TimingScope&) = delete;
+  TimingScope& operator=(const TimingScope&) = delete;
+
+ private:
+  std::string name_;
+};
 
 /// Iteration scale from DLPSIM_SCALE (default 1.0).
 double Scale();

@@ -9,33 +9,21 @@
 #include <vector>
 
 #include "analysis/report.h"
-#include "gpu/simulator.h"
-#include "sim/config.h"
+#include "harness.h"
 #include "workloads/registry.h"
 
 using namespace dlpsim;
-
-namespace {
-
-struct NamedConfig {
-  const char* name;
-  SimConfig cfg;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const std::string app = argc > 1 ? argv[1] : "KM";
   const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
 
-  const std::vector<NamedConfig> configs = {
-      {"16KB(base)", SimConfig::Baseline16KB()},
-      {"Stall-Bypass", SimConfig::WithPolicy(PolicyKind::kStallBypass)},
-      {"Global-Prot", SimConfig::WithPolicy(PolicyKind::kGlobalProtection)},
-      {"DLP", SimConfig::WithPolicy(PolicyKind::kDlp)},
-      {"32KB", SimConfig::Cache32KB()},
-      {"64KB", SimConfig::Cache64KB()},
-  };
+  // Harness configuration names paired with their display labels; rows
+  // come back from RunGrid in this order.
+  const std::vector<std::string> configs = bench::ConfigNames();
+  const std::vector<std::string> labels = {"16KB(base)", "Stall-Bypass",
+                                           "Global-Prot", "DLP",
+                                           "32KB",        "64KB"};
 
   const Workload wl = MakeWorkload(app, scale);
   std::cout << "== " << wl.info.abbr << " (" << wl.info.name << ", "
@@ -46,10 +34,10 @@ int main(int argc, char** argv) {
   TextTable t({"config", "IPC", "cycles", "hitrate", "hits", "traffic",
                "bypass", "evict", "stallcyc", "ldlat", "icnt MB", "dram rd",
                "done"});
-  for (const NamedConfig& nc : configs) {
-    GpuSimulator gpu(nc.cfg, wl.program.get(), wl.warps_per_sm);
-    const Metrics m = gpu.Run();
-    t.AddRow({nc.name, Fmt(m.ipc(), 1), std::to_string(m.core_cycles),
+  const auto results = bench::RunGrid({app}, configs, scale, 0);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const Metrics& m = results[c].metrics;
+    t.AddRow({labels[c], Fmt(m.ipc(), 1), std::to_string(m.core_cycles),
               Pct(m.l1d_hit_rate()), std::to_string(m.l1d_load_hits),
               std::to_string(m.l1d_traffic()),
               std::to_string(m.l1d_bypasses),

@@ -10,22 +10,10 @@
 #include <string>
 
 #include "analysis/report.h"
-#include "gpu/simulator.h"
-#include "sim/config.h"
+#include "harness.h"
 #include "workloads/registry.h"
 
 using namespace dlpsim;
-
-namespace {
-
-Metrics RunOnce(const std::string& app, double scale, PolicyKind policy) {
-  const Workload wl = MakeWorkload(app, scale);
-  const SimConfig cfg = SimConfig::WithPolicy(policy);
-  GpuSimulator gpu(cfg, wl.program.get(), wl.warps_per_sm);
-  return gpu.Run();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const std::string app = argc > 1 ? argv[1] : "SRK";
@@ -42,8 +30,11 @@ int main(int argc, char** argv) {
             << wl.program->NumMemoryPcs() << " memory PCs, "
             << wl.warps_per_sm << " warps/SM\n\n";
 
-  const Metrics base = RunOnce(app, scale, PolicyKind::kBaseline);
-  const Metrics dlp = RunOnce(app, scale, PolicyKind::kDlp);
+  // Both cells through the shared harness: cached on disk and run via
+  // the parallel executor (DLPSIM_JOBS).
+  const auto results = bench::RunGrid({app}, {"base", "dlp"}, scale, 0);
+  const Metrics& base = results[0].metrics;
+  const Metrics& dlp = results[1].metrics;
 
   TextTable t({"metric", "baseline 16KB", "DLP 16KB", "DLP/base"});
   auto row = [&](const std::string& name, double b, double d, int dec = 3) {

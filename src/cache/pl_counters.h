@@ -1,0 +1,63 @@
+// Incrementally maintained protected-line counters.
+//
+// PolicySnapshot needs, per timeline sample, the number of occupied L1D
+// lines at each protected-life value. Walking every SM's full tag array
+// (16 SMs x 32 sets x 4 ways) per sample made SnapshotPolicy() the
+// dominant cost of telemetry-enabled runs; instead the tag array and the
+// protection policy report every PL/occupancy transition here, making a
+// snapshot an O(16)-bucket read.
+//
+// Invariants (checked by tests/gpu/simulator_test.cpp against a brute
+// force walk):
+//   histogram[b] == #occupied lines with min(protected_life, 15) == b
+// PL is a 4-bit field so bucket 15 also absorbs any wider test values.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace dlpsim {
+
+struct PlCounters {
+  std::array<std::uint64_t, 16> histogram{};
+
+  static std::size_t Bucket(std::uint32_t pl) {
+    return pl < 15 ? pl : std::size_t{15};
+  }
+
+  /// A line became occupied with protected life `pl`.
+  void Add(std::uint32_t pl) { ++histogram[Bucket(pl)]; }
+
+  /// An occupied line with protected life `pl` was invalidated/evicted.
+  void Remove(std::uint32_t pl) {
+    assert(histogram[Bucket(pl)] > 0);
+    --histogram[Bucket(pl)];
+  }
+
+  /// An occupied line's protected life changed from `from` to `to`.
+  void Move(std::uint32_t from, std::uint32_t to) {
+    if (Bucket(from) == Bucket(to)) return;
+    Remove(from);
+    Add(to);
+  }
+
+  void Clear() { histogram.fill(0); }
+
+  /// Occupied lines currently protected (PL > 0).
+  std::uint64_t protected_lines() const {
+    std::uint64_t n = 0;
+    for (std::size_t b = 1; b < histogram.size(); ++b) n += histogram[b];
+    return n;
+  }
+
+  /// All occupied lines.
+  std::uint64_t occupied_lines() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t v : histogram) n += v;
+    return n;
+  }
+};
+
+}  // namespace dlpsim

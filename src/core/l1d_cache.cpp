@@ -28,7 +28,10 @@ L1DCache::L1DCache(const L1DConfig& cfg)
     : cfg_(cfg),
       tda_(cfg.geom),
       mshr_(cfg.mshr_entries, cfg.mshr_max_merged),
-      policy_(MakePolicy(cfg)) {}
+      policy_(MakePolicy(cfg)) {
+  tda_.SetPlCounters(&pl_counters_);
+  policy_->SetPlCounters(&pl_counters_);
+}
 
 void L1DCache::CommitQuery(std::uint32_t set, Cycle now) {
   ++stats_.accesses;
@@ -292,7 +295,9 @@ void L1DCache::Fill(const L1DResponse& response, Cycle now,
 }
 
 void L1DCache::Reset() {
+  pl_counters_.Clear();
   tda_ = TagArray(cfg_.geom);
+  tda_.SetPlCounters(&pl_counters_);
   mshr_ = MshrTable(cfg_.mshr_entries, cfg_.mshr_max_merged);
   policy_->Reset();
   outgoing_.clear();

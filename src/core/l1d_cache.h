@@ -18,6 +18,7 @@
 
 #include "cache/mshr.h"
 #include "cache/observer.h"
+#include "cache/pl_counters.h"
 #include "cache/stats.h"
 #include "cache/tag_array.h"
 #include "core/policies.h"
@@ -93,6 +94,11 @@ class L1DCache {
   const L1DConfig& config() const { return cfg_; }
   std::uint32_t line_bytes() const { return cfg_.geom.line_bytes; }
 
+  /// Incrementally maintained occupied-lines-by-protected-life histogram
+  /// (kept in lockstep with the TDA by the tag array and the policy);
+  /// lets PolicySnapshot avoid walking every set per timeline sample.
+  const PlCounters& pl_counters() const { return pl_counters_; }
+
   /// Optional pre-policy observer (reuse-distance profiling).
   void SetObserver(AccessObserver* observer) { observer_ = observer; }
 
@@ -122,6 +128,7 @@ class L1DCache {
   void EvictFor(std::uint32_t set, std::uint32_t way, Addr new_block, Pc pc);
 
   L1DConfig cfg_;
+  PlCounters pl_counters_;
   TagArray tda_;
   MshrTable mshr_;
   std::unique_ptr<ProtectionPolicy> policy_;

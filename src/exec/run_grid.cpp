@@ -1,0 +1,30 @@
+#include "exec/run_grid.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace dlpsim::exec {
+
+std::vector<Job> Grid(const std::vector<std::string>& apps,
+                      const std::vector<std::string>& configs) {
+  std::vector<Job> grid;
+  grid.reserve(apps.size() * configs.size());
+  for (const std::string& app : apps) {
+    for (const std::string& config : configs) {
+      grid.push_back(Job{app, config});
+    }
+  }
+  return grid;
+}
+
+std::size_t DefaultJobs() {
+  if (const char* env = std::getenv("DLPSIM_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+}  // namespace dlpsim::exec

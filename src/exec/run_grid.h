@@ -1,0 +1,85 @@
+// RunGrid/Job API: deterministic parallel execution of an (app x config)
+// experiment matrix.
+//
+// Every simulation cell is fully independent and deterministic, so the
+// executor schedules each cell as an isolated job on a fixed-size
+// ThreadPool and returns results in *grid order* (the input order),
+// regardless of completion order. With jobs == 1 everything runs inline
+// on the calling thread -- no worker threads are created -- reproducing
+// the historical serial path bit for bit.
+//
+// Worker count resolution (DefaultJobs): the DLPSIM_JOBS environment
+// knob when set to a positive integer, else std::thread's
+// hardware_concurrency (minimum 1).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace dlpsim::exec {
+
+/// One cell of an experiment grid.
+struct Job {
+  std::string app;
+  std::string config;
+};
+
+/// The (app x config) matrix in app-major (row-major) order: the cell
+/// (a, c) lands at index a * configs.size() + c.
+std::vector<Job> Grid(const std::vector<std::string>& apps,
+                      const std::vector<std::string>& configs);
+
+/// Worker count: DLPSIM_JOBS if set to a positive integer, otherwise
+/// hardware_concurrency (never 0).
+std::size_t DefaultJobs();
+
+/// Runs fn(i) for i in [0, n) on up to `jobs` workers and returns the
+/// results in index order. jobs <= 1 executes inline (serial path). If
+/// any invocation throws, the first failing index's exception is
+/// rethrown after all jobs finish.
+template <typename Fn>
+auto ParallelMap(std::size_t n, Fn&& fn, std::size_t jobs = DefaultJobs())
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> results(n);
+  if (n == 0) return results;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  {
+    ThreadPool pool(std::min(jobs, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.Submit([&results, &errors, &fn, i] {
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return results;
+}
+
+/// Maps `fn` over the grid cells; results in grid order.
+template <typename Fn>
+auto RunJobs(const std::vector<Job>& grid, Fn&& fn,
+             std::size_t jobs = DefaultJobs())
+    -> std::vector<std::invoke_result_t<Fn&, const Job&>> {
+  return ParallelMap(
+      grid.size(), [&grid, &fn](std::size_t i) { return fn(grid[i]); }, jobs);
+}
+
+}  // namespace dlpsim::exec

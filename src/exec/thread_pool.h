@@ -1,0 +1,52 @@
+// Fixed-size worker pool for the experiment executor (src/exec/).
+//
+// The pool is deliberately minimal: a FIFO task queue, condition-variable
+// wakeup, and join-on-destruction (the destructor drains every queued
+// task before returning). Tasks are plain std::function<void()> and must
+// not throw -- callers that need exception propagation capture
+// std::exception_ptr inside the task, which is exactly what
+// exec::ParallelMap (run_grid.h) does on top of this class.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlpsim::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is clamped to 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks run in FIFO order across the workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dlpsim::exec

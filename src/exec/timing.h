@@ -1,0 +1,49 @@
+// Machine-readable wall-clock telemetry for the experiment executor.
+//
+// Each completed grid cell records its simulation wall time (or that it
+// was served from the result cache); WriteJson exports the log as
+// `<bench>_timing.json` so the performance trajectory of the full
+// reproduction sweep is tracked across commits. Recording is
+// thread-safe -- cells complete concurrently under exec::ParallelMap.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlpsim::exec {
+
+struct TimingCell {
+  std::string app;
+  std::string config;
+  double seconds = 0.0;  // simulation wall time (0 when served from cache)
+  bool cached = false;
+};
+
+class TimingLog {
+ public:
+  TimingLog() : start_(std::chrono::steady_clock::now()) {}
+
+  void Record(TimingCell cell);
+
+  /// Wall seconds since construction (process lifetime for the global log).
+  double ElapsedSeconds() const;
+
+  std::vector<TimingCell> cells() const;
+
+  /// Writes the JSON document:
+  ///   { "bench", "jobs", "scale", "wall_seconds", "sim_seconds_total",
+  ///     "cells_simulated", "cells_cached", "cells": [...] }
+  void WriteJson(std::ostream& os, const std::string& bench,
+                 std::size_t jobs, double scale) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<TimingCell> cells_;
+};
+
+}  // namespace dlpsim::exec

@@ -1,7 +1,5 @@
 #include "gpu/simulator.h"
 
-#include <algorithm>
-
 #include "obs/trace_sink.h"
 
 namespace dlpsim {
@@ -20,6 +18,14 @@ GpuSimulator::GpuSimulator(const SimConfig& cfg, const Program* program,
   core_domain_ = clocks_.AddDomain("core", cfg.core_mhz);
   icnt_domain_ = clocks_.AddDomain("icnt", cfg.icnt_mhz);
   mem_domain_ = clocks_.AddDomain("mem", cfg.mem_mhz);
+  // Cores whose program is empty are inactive from cycle 0.
+  core_inactive_.assign(cores_.size(), 0);
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].Inactive()) {
+      core_inactive_[i] = 1;
+      ++num_inactive_;
+    }
+  }
 }
 
 void GpuSimulator::AttachObserver(AccessObserver* observer) {
@@ -44,16 +50,13 @@ PolicySnapshot GpuSimulator::SnapshotPolicy() const {
       snap.samples_taken += pdpt->samples_taken;
       ++cores_with_pdpt;
     }
-    const TagArray& tda = l1d.tda();
-    for (std::uint32_t set = 0; set < tda.geom().sets; ++set) {
-      for (const CacheLine& line : tda.SetView(set)) {
-        if (!IsOccupied(line.state)) continue;
-        if (line.protected_life > 0) ++snap.protected_lines;
-        const std::size_t bucket = std::min<std::size_t>(
-            line.protected_life, snap.pl_histogram.size() - 1);
-        ++snap.pl_histogram[bucket];
-      }
+    // Incrementally maintained per-L1D counters replace the former
+    // 32-set x 4-way tag walk per core per timeline sample.
+    const PlCounters& pl = l1d.pl_counters();
+    for (std::size_t b = 0; b < snap.pl_histogram.size(); ++b) {
+      snap.pl_histogram[b] += pl.histogram[b];
     }
+    snap.protected_lines += pl.protected_lines();
   }
   if (cores_with_pdpt > 0) snap.mean_pd /= cores_with_pdpt;
   return snap;
@@ -68,7 +71,21 @@ void GpuSimulator::Step() {
       icnt_.Tick(clocks_.cycles(icnt_domain_));
     } else if (domain == core_domain_) {
       const Cycle now = clocks_.cycles(core_domain_);
-      for (SmCore& core : cores_) core.TickCore(now, icnt_);
+      // Skip cores whose TickCore is provably a no-op (drained, no
+      // pending background credit, and -- since they have no outstanding
+      // loads -- no replies can be routed to them). When every core is
+      // inactive the whole domain fast-forwards: the tick only advances
+      // the cycle count while icnt/mem drain.
+      if (num_inactive_ != cores_.size()) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+          if (core_inactive_[i] != 0) continue;
+          cores_[i].TickCore(now, icnt_);
+          if (cores_[i].Inactive()) {
+            core_inactive_[i] = 1;
+            ++num_inactive_;
+          }
+        }
+      }
       if (timeline_ != nullptr && timeline_->Due(now)) {
         timeline_->Record(now, Collect(), SnapshotPolicy());
       }
@@ -77,8 +94,9 @@ void GpuSimulator::Step() {
 }
 
 bool GpuSimulator::Done() const {
-  for (const SmCore& core : cores_) {
-    if (!core.Drained()) return false;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    // Inactive implies drained; the flag spares the per-warp walk.
+    if (core_inactive_[i] == 0 && !cores_[i].Drained()) return false;
   }
   if (!icnt_.Idle()) return false;
   for (const MemoryPartition& p : partitions_) {

@@ -68,6 +68,12 @@ class GpuSimulator {
   std::vector<SmCore> cores_;
   Crossbar icnt_;
   std::vector<MemoryPartition> partitions_;
+  // Sticky per-core "TickCore is a no-op forever" flags (SmCore::
+  // Inactive). Once every core is inactive the stepper fast-forwards the
+  // core domain -- only icnt/mem still need draining -- and Done() skips
+  // the per-warp drain walks. Results are bit-identical either way.
+  std::vector<std::uint8_t> core_inactive_;
+  std::uint32_t num_inactive_ = 0;
   ClockDomainSet clocks_;
   std::uint32_t core_domain_ = 0;
   std::uint32_t icnt_domain_ = 0;

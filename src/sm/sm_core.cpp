@@ -148,4 +148,14 @@ bool SmCore::Drained() const {
   return true;
 }
 
+bool SmCore::Inactive() const {
+  if (!Drained()) return false;
+  // A drained core can still owe the interconnect a background packet if
+  // it crossed the credit threshold while the crossbar was congested;
+  // keep ticking it until that credit is spent.
+  return cfg_.other_traffic_per_insns == 0 ||
+         other_traffic_credit_ <
+             std::uint64_t{cfg_.other_traffic_per_insns} * cfg_.core.warp_size;
+}
+
 }  // namespace dlpsim

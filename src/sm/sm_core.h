@@ -31,6 +31,12 @@ class SmCore {
   bool Finished() const;  // all warps retired their program
   bool Drained() const;   // Finished + all queues empty
 
+  /// TickCore is a permanent no-op for this core: drained AND no
+  /// background-traffic credit left that could still inject a packet.
+  /// Sticky -- nothing can reactivate a core once this returns true --
+  /// so the simulator skips inactive cores without changing results.
+  bool Inactive() const;
+
   L1DCache& l1d() { return *l1d_; }
   const L1DCache& l1d() const { return *l1d_; }
   const LdStUnit& ldst() const { return ldst_; }

@@ -1,0 +1,55 @@
+#include "cache/pl_counters.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim {
+namespace {
+
+TEST(PlCounters, BucketClampsToFifteen) {
+  EXPECT_EQ(PlCounters::Bucket(0), 0u);
+  EXPECT_EQ(PlCounters::Bucket(14), 14u);
+  EXPECT_EQ(PlCounters::Bucket(15), 15u);
+  EXPECT_EQ(PlCounters::Bucket(63), 15u);
+}
+
+TEST(PlCounters, AddRemoveTracksOccupancy) {
+  PlCounters c;
+  EXPECT_EQ(c.occupied_lines(), 0u);
+  c.Add(0);
+  c.Add(3);
+  c.Add(3);
+  EXPECT_EQ(c.occupied_lines(), 3u);
+  EXPECT_EQ(c.protected_lines(), 2u);
+  EXPECT_EQ(c.histogram[3], 2u);
+  c.Remove(3);
+  EXPECT_EQ(c.protected_lines(), 1u);
+  c.Remove(0);
+  c.Remove(3);
+  EXPECT_EQ(c.occupied_lines(), 0u);
+}
+
+TEST(PlCounters, MoveShiftsBuckets) {
+  PlCounters c;
+  c.Add(5);
+  c.Move(5, 4);
+  EXPECT_EQ(c.histogram[5], 0u);
+  EXPECT_EQ(c.histogram[4], 1u);
+  // Same-bucket moves (including clamped >=15 values) are no-ops.
+  c.Move(4, 4);
+  EXPECT_EQ(c.histogram[4], 1u);
+  c.Move(4, 0);
+  EXPECT_EQ(c.protected_lines(), 0u);
+  EXPECT_EQ(c.occupied_lines(), 1u);
+}
+
+TEST(PlCounters, ClearResets) {
+  PlCounters c;
+  c.Add(2);
+  c.Add(9);
+  c.Clear();
+  EXPECT_EQ(c.occupied_lines(), 0u);
+  EXPECT_EQ(c.protected_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace dlpsim

@@ -1,0 +1,144 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/run_grid.h"
+
+namespace dlpsim::exec {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    // No Wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder) {
+  const auto r = ParallelMap(
+      64, [](std::size_t i) { return i * i; }, 8);
+  ASSERT_EQ(r.size(), 64u);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r[i], i * i);
+}
+
+TEST(ParallelMap, SerialPathRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  const auto r = ParallelMap(
+      8, [caller](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return i;
+      },
+      1);
+  ASSERT_EQ(r.size(), 8u);
+}
+
+TEST(ParallelMap, EmptyInputReturnsEmpty) {
+  const auto r = ParallelMap(
+      0, [](std::size_t i) { return i; }, 8);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ParallelMap, PropagatesFirstExceptionByIndex) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    std::atomic<int> ran{0};
+    try {
+      ParallelMap(
+          32, [&ran](std::size_t i) -> int {
+            ++ran;
+            if (i == 7) throw std::runtime_error("boom 7");
+            if (i == 20) throw std::runtime_error("boom 20");
+            return 0;
+          },
+          jobs);
+      FAIL() << "expected throw with jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 7") << "jobs=" << jobs;
+    }
+    if (jobs > 1) {
+      // Parallel mode finishes every job before rethrowing.
+      EXPECT_EQ(ran.load(), 32) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Grid, AppMajorOrder) {
+  const auto grid = Grid({"A", "B"}, {"x", "y", "z"});
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].app, "A");
+  EXPECT_EQ(grid[0].config, "x");
+  EXPECT_EQ(grid[2].app, "A");
+  EXPECT_EQ(grid[2].config, "z");
+  EXPECT_EQ(grid[3].app, "B");
+  EXPECT_EQ(grid[3].config, "x");
+  EXPECT_EQ(grid[5].config, "z");
+}
+
+TEST(RunJobs, MapsOverGridInOrder) {
+  const auto grid = Grid({"A", "B"}, {"x", "y"});
+  const auto r = RunJobs(
+      grid, [](const Job& j) { return j.app + ":" + j.config; }, 4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0], "A:x");
+  EXPECT_EQ(r[3], "B:y");
+}
+
+TEST(DefaultJobs, HonorsEnvAndNeverZero) {
+  char* saved = std::getenv("DLPSIM_JOBS");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::setenv("DLPSIM_JOBS", "3", 1);
+  EXPECT_EQ(DefaultJobs(), 3u);
+  ::setenv("DLPSIM_JOBS", "0", 1);  // invalid -> hardware concurrency
+  EXPECT_GE(DefaultJobs(), 1u);
+  ::unsetenv("DLPSIM_JOBS");
+  EXPECT_GE(DefaultJobs(), 1u);
+
+  if (saved != nullptr) ::setenv("DLPSIM_JOBS", restore.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace dlpsim::exec

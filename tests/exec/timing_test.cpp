@@ -1,0 +1,46 @@
+#include "exec/timing.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/run_grid.h"
+
+namespace dlpsim::exec {
+namespace {
+
+TEST(TimingLog, RecordsCellsThreadSafely) {
+  TimingLog log;
+  ParallelMap(
+      50,
+      [&log](std::size_t i) {
+        log.Record({"APP", "base", 0.5, i % 2 == 0});
+        return 0;
+      },
+      8);
+  EXPECT_EQ(log.cells().size(), 50u);
+  EXPECT_GE(log.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimingLog, JsonCarriesTotalsAndCells) {
+  TimingLog log;
+  log.Record({"SRK", "base", 1.5, false});
+  log.Record({"SRK", "dlp", 2.5, false});
+  log.Record({"KM", "base", 0.0, true});
+
+  std::ostringstream os;
+  log.WriteJson(os, "bench_x", 4, 0.5);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"bench\":\"bench_x\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_seconds_total\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_simulated\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_cached\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"app\":\"KM\""), std::string::npos);
+  EXPECT_NE(json.find("\"cached\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlpsim::exec
