@@ -96,9 +96,11 @@ int main() {
         const auto t0 = std::chrono::steady_clock::now();
         const double r = RunDlp(app, v.prot);
         const auto t1 = std::chrono::steady_clock::now();
-        bench::Timing().Record(
-            {app, v.name, std::chrono::duration<double>(t1 - t0).count(),
-             /*cached=*/false});
+        exec::TimingCell cell;
+        cell.app = app;
+        cell.config = v.name;
+        cell.seconds = std::chrono::duration<double>(t1 - t0).count();
+        bench::Timing().Record(std::move(cell));
         return r;
       });
 
@@ -116,5 +118,5 @@ int main() {
                "long ones adapt slowly, wider PD fields extend protection "
                "reach, and a 1-entry PDPT degenerates to "
                "Global-Protection.\n";
-  return 0;
+  return bench::ExitStatus();
 }

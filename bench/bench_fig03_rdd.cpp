@@ -29,5 +29,5 @@ int main() {
   std::cout << "Paper shape: RDDs vary widely across applications; CS apps "
                "like SC/BP are short-RD dominated, HG/STEN/KM long-RD "
                "dominated, MM spreads across all four buckets.\n";
-  return 0;
+  return bench::ExitStatus();
 }

@@ -25,5 +25,5 @@ int main() {
   std::cout << "Paper shape: miss rates fall as associativity grows for "
                "most applications; apps with RDs clustered at the extremes "
                "(HG, STEN, SC, BP) barely move.\n";
-  return 0;
+  return bench::ExitStatus();
 }

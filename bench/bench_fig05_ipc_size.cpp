@@ -29,5 +29,5 @@ int main() {
   std::cout << "Paper shape: CI applications speed up markedly with larger "
                "caches; CS applications are insensitive (their memory "
                "access ratio is below 1%).\n";
-  return 0;
+  return bench::ExitStatus();
 }

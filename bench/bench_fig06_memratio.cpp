@@ -47,5 +47,5 @@ int main() {
             << ".\nNote: our synthetic CI kernels sit somewhat above the "
                "paper's lowest CI ratios (see EXPERIMENTS.md); the CS/CI "
                "split and ordering are preserved.\n";
-  return 0;
+  return bench::ExitStatus();
 }

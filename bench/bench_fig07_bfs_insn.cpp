@@ -27,5 +27,5 @@ int main() {
                "instructions of one kernel -- some are dominated by short "
                "distances, others by the 9~64 band or beyond; a per-"
                "instruction protection distance can fit each one.\n";
-  return 0;
+  return bench::ExitStatus();
 }

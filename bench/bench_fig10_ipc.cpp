@@ -55,5 +55,5 @@ int main() {
   std::cout << "Paper targets: CI geomean SB ~1.14, GP ~1.347, DLP ~1.438, "
                "32KB ~1.50; CS geomean ~1.00 for GP/DLP (SB loses ~2.4%, "
                "with SRAD/BT down 11-12%).\n";
-  return 0;
+  return bench::ExitStatus();
 }

@@ -57,5 +57,5 @@ int main() {
   std::cout << "Paper targets (CI geomeans): traffic SB ~0.716, GP ~0.598, "
                "DLP ~0.475; evictions SB ~0.565, GP ~0.357, DLP ~0.207. "
                "DLP bypasses most aggressively and evicts least.\n";
-  return 0;
+  return bench::ExitStatus();
 }

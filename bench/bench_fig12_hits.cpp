@@ -55,5 +55,5 @@ int main() {
   std::cout << "Paper shape: DLP's hit rate is the highest on CI "
                "applications even where its absolute hit count is not "
                "(it serves fewer accesses but keeps the valuable lines).\n";
-  return 0;
+  return bench::ExitStatus();
 }

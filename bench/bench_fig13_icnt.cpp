@@ -54,5 +54,5 @@ int main() {
                "Stall-Bypass and ~11.5% with DLP on CI applications -- much "
                "smaller than the L1D traffic reduction because the network "
                "also serves L1I/L1C/L1T traffic.\n";
-  return 0;
+  return bench::ExitStatus();
 }

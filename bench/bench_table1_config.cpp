@@ -37,5 +37,5 @@ int main() {
                     cfg.num_partitions / 1e9;
   t.AddRow({"Memory bandwidth", Fmt(bw, 1) + " GB/s (paper: 177.4 GB/s)"});
   std::cout << t.Render();
-  return 0;
+  return bench::ExitStatus();
 }

@@ -24,5 +24,5 @@ int main() {
   std::cout << t.Render() << '\n';
   std::cout << "All kernels keep their load-instruction count far below the "
                "PDPT's 128-entry capacity (paper SS4.1.3).\n";
-  return 0;
+  return bench::ExitStatus();
 }

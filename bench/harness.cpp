@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +20,8 @@
 #include "obs/exporters.h"
 #include "obs/timeline.h"
 #include "obs/trace_sink.h"
+#include "robust/fault.h"
+#include "robust/watchdog.h"
 #include "workloads/registry.h"
 
 namespace dlpsim::bench {
@@ -42,10 +47,23 @@ bool TraceEnabled() {
   return env != nullptr && std::string(env) != "0" && std::string(env) != "";
 }
 
+const char* FaultSpec() {
+  const char* env = std::getenv("DLPSIM_FAULTS");
+  if (env == nullptr || *env == '\0' || std::string(env) == "0") {
+    return nullptr;
+  }
+  return env;
+}
+
+bool FaultsEnabled() { return FaultSpec() != nullptr; }
+
 // Tracing implies no result cache: a cache hit would skip the simulation
-// and produce no trace.
+// and produce no trace. Fault injection also disables it both ways --
+// faulty results must never poison the shared cache, and a clean cached
+// result must never stand in for the faulty run under test.
 bool CacheEnabled() {
-  return std::getenv("DLPSIM_NOCACHE") == nullptr && !TraceEnabled();
+  return std::getenv("DLPSIM_NOCACHE") == nullptr && !TraceEnabled() &&
+         !FaultsEnabled();
 }
 
 std::string TraceOutDir() {
@@ -65,6 +83,19 @@ std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
   }
   return fallback;
 }
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+// Grid cells that exhausted their retries in RunGrid (process-wide, like
+// Timing()); benches turn this into a non-zero exit after printing every
+// table they could compute.
+std::atomic<std::size_t> g_failed_cells{0};
 }  // namespace
 
 double Scale() {
@@ -88,15 +119,26 @@ std::vector<std::string> AllAppAbbrs() {
 }
 
 SimConfig ConfigFor(const std::string& name) {
-  if (name == "base") return SimConfig::Baseline16KB();
-  if (name == "sb") return SimConfig::WithPolicy(PolicyKind::kStallBypass);
-  if (name == "gp") {
-    return SimConfig::WithPolicy(PolicyKind::kGlobalProtection);
+  SimConfig cfg;
+  if (name == "base") {
+    cfg = SimConfig::Baseline16KB();
+  } else if (name == "sb") {
+    cfg = SimConfig::WithPolicy(PolicyKind::kStallBypass);
+  } else if (name == "gp") {
+    cfg = SimConfig::WithPolicy(PolicyKind::kGlobalProtection);
+  } else if (name == "dlp") {
+    cfg = SimConfig::WithPolicy(PolicyKind::kDlp);
+  } else if (name == "32kb") {
+    cfg = SimConfig::Cache32KB();
+  } else if (name == "64kb") {
+    cfg = SimConfig::Cache64KB();
+  } else {
+    throw std::out_of_range("unknown config: " + name);
   }
-  if (name == "dlp") return SimConfig::WithPolicy(PolicyKind::kDlp);
-  if (name == "32kb") return SimConfig::Cache32KB();
-  if (name == "64kb") return SimConfig::Cache64KB();
-  throw std::out_of_range("unknown config: " + name);
+  // Fail fast with the structured issue list if a preset is ever edited
+  // into an invalid state (also the gate for locally patched presets).
+  cfg.ValidateOrThrow();
+  return cfg;
 }
 
 std::string ProfileResult::ToText() const {
@@ -191,6 +233,36 @@ void ExportTrace(const std::string& abbr, const std::string& config,
             << chrome.string() << ", " << csv.string() << '\n';
 }
 
+/// Writes the fault-injection artifact (and, if the watchdog tripped, its
+/// diagnostic) into DLPSIM_TIMING_DIR. Best-effort: export failures are
+/// reported on stderr and never change run results.
+void ExportFaultArtifacts(const std::string& abbr, const std::string& config,
+                          const robust::FaultInjector& injector,
+                          const robust::Watchdog* watchdog) {
+  namespace fs = std::filesystem;
+  const fs::path dir = TimingDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string stem = abbr + "_" + config;
+  const fs::path faults = dir / (stem + "_faults.json");
+  {
+    std::ofstream os(faults);
+    if (!os) {
+      std::cerr << "[faults] cannot write " << faults << '\n';
+      return;
+    }
+    injector.WriteJson(os);
+  }
+  std::cerr << "[faults] " << stem << ": applied " << injector.applied_total()
+            << "/" << injector.plan().events.size() << " -> "
+            << faults.string() << '\n';
+  if (watchdog != nullptr && watchdog->tripped()) {
+    const fs::path diag = dir / (stem + "_watchdog.json");
+    std::ofstream os(diag);
+    if (os) watchdog->diagnostic().WriteJson(os);
+  }
+}
+
 }  // namespace
 
 RunResult SimulateUncached(const std::string& abbr, const std::string& config,
@@ -210,8 +282,42 @@ RunResult SimulateUncached(const std::string& abbr, const std::string& config,
     gpu.SetTimeline(&timeline);
   }
 
+  // Resilience hooks (both off by default, so un-faulted runs stay
+  // byte-identical to earlier releases). DLPSIM_FAULTS selects a seeded
+  // fault plan; DLPSIM_WATCHDOG=<cycles> arms the forward-progress
+  // watchdog with that stall threshold.
+  std::unique_ptr<robust::FaultInjector> injector;
+  if (const char* spec = FaultSpec()) {
+    robust::FaultPlan plan;
+    std::string err;
+    if (!robust::FaultPlan::Parse(spec, &plan, &err)) {
+      throw std::invalid_argument("DLPSIM_FAULTS: " + err);
+    }
+    injector = std::make_unique<robust::FaultInjector>(plan);
+    gpu.SetFaultInjector(injector.get());
+  }
+  std::unique_ptr<robust::Watchdog> watchdog;
+  if (const std::uint64_t stall = EnvU64("DLPSIM_WATCHDOG", 0); stall > 0) {
+    watchdog = std::make_unique<robust::Watchdog>(
+        robust::WatchdogConfig{/*check_interval=*/1024,
+                               /*stall_cycles=*/stall});
+    gpu.SetWatchdog(watchdog.get());
+  }
+
   RunResult result;
   result.metrics = gpu.Run();
+
+  if (injector != nullptr) {
+    ExportFaultArtifacts(abbr, config, *injector, watchdog.get());
+  }
+  if (watchdog != nullptr && watchdog->tripped()) {
+    std::cerr << watchdog->diagnostic().ToText();
+    throw std::runtime_error(
+        "watchdog: " + abbr + "/" + config + " made no forward progress for " +
+        std::to_string(watchdog->config().stall_cycles) +
+        " cycles (stalled resource: " +
+        watchdog->diagnostic().StalledResource() + ")");
+  }
   result.profile.global = profiler.GlobalRdd();
   result.profile.per_pc = profiler.PerPcRdd();
   result.profile.reuse_accesses = profiler.reuse_accesses();
@@ -320,7 +426,11 @@ RunResult LoadOrSimulate(const std::string& abbr, const std::string& config,
   if (CacheEnabled()) {
     RunResult cached;
     if (LoadCacheFile(path, &cached)) {
-      Timing().Record({abbr, config, 0.0, /*cached=*/true});
+      exec::TimingCell cell;
+      cell.app = abbr;
+      cell.config = config;
+      cell.cached = true;
+      Timing().Record(std::move(cell));
       return cached;
     }
   }
@@ -328,19 +438,30 @@ RunResult LoadOrSimulate(const std::string& abbr, const std::string& config,
   const auto t0 = std::chrono::steady_clock::now();
   RunResult r = SimulateUncached(abbr, config, scale);
   const auto t1 = std::chrono::steady_clock::now();
-  Timing().Record({abbr, config, std::chrono::duration<double>(t1 - t0).count(),
-                   /*cached=*/false});
+  exec::TimingCell cell;
+  cell.app = abbr;
+  cell.config = config;
+  cell.seconds = std::chrono::duration<double>(t1 - t0).count();
+  Timing().Record(std::move(cell));
 
   if (CacheEnabled()) StoreCacheFile(path, r);
   return r;
 }
 
-/// In-process memo: single-flight per cell. std::map gives reference
-/// stability, so call_once can run outside the registry lock.
+/// In-process memo: single-flight per cell, but (unlike call_once) NOT
+/// failure-sticky. A failed flight releases the cell so a later caller --
+/// e.g. RunGrid's retry pass -- can attempt it again; only successes are
+/// memoized. Callers that were waiting on the failing flight see that
+/// flight's exception. std::map gives reference stability, so the flight
+/// runs outside the registry lock.
 struct CellState {
-  std::once_flag once;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool running = false;
+  bool done = false;
   RunResult result;
-  std::exception_ptr error;
+  std::exception_ptr last_error;
+  std::uint64_t error_seq = 0;  // bumped on every failed flight
 };
 
 struct Memo {
@@ -363,15 +484,38 @@ RunResult Run(const std::string& abbr, const std::string& config,
     std::lock_guard<std::mutex> lock(memo.mu);
     cell = &memo.cells[KeyFor(abbr, config, scale)];
   }
-  std::call_once(cell->once, [&] {
-    try {
-      cell->result = LoadOrSimulate(abbr, config, scale);
-    } catch (...) {
-      cell->error = std::current_exception();
-    }
-  });
-  if (cell->error) std::rethrow_exception(cell->error);
-  return cell->result;
+
+  std::unique_lock<std::mutex> lock(cell->mu);
+  for (;;) {
+    if (cell->done) return cell->result;
+    if (!cell->running) break;
+    // Another thread's flight is in progress: share its outcome rather
+    // than queueing a duplicate simulation.
+    const std::uint64_t seq = cell->error_seq;
+    cell->cv.wait(lock,
+                  [&] { return cell->done || cell->error_seq != seq; });
+    if (cell->done) return cell->result;
+    std::rethrow_exception(cell->last_error);
+  }
+
+  cell->running = true;
+  lock.unlock();
+  try {
+    RunResult r = LoadOrSimulate(abbr, config, scale);
+    lock.lock();
+    cell->result = std::move(r);
+    cell->done = true;
+    cell->running = false;
+    cell->cv.notify_all();
+    return cell->result;
+  } catch (...) {
+    lock.lock();
+    cell->last_error = std::current_exception();
+    ++cell->error_seq;
+    cell->running = false;
+    cell->cv.notify_all();
+    throw;
+  }
 }
 
 RunResult Run(const std::string& abbr, const std::string& config) {
@@ -387,9 +531,51 @@ std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
   // order deterministic.
   if (TraceEnabled()) jobs = 1;
   const std::vector<exec::Job> grid = exec::Grid(apps, configs);
-  return exec::RunJobs(
+
+  // Resilient execution: a cell that throws (bad workload, watchdog trip,
+  // fault-induced failure) is retried once and, if it still fails, is
+  // recorded as a structured failure instead of aborting its siblings.
+  // Its result slot stays value-initialized so tables keep their shape.
+  exec::RetryPolicy retry;
+  retry.timeout_seconds = EnvDouble("DLPSIM_JOB_TIMEOUT", 0.0);
+  exec::GridRun<RunResult> run = exec::TryRunJobs(
       grid, [scale](const exec::Job& j) { return Run(j.app, j.config, scale); },
-      jobs);
+      retry, jobs);
+
+  for (const exec::JobFailure& f : run.failures) {
+    std::cerr << "[grid] FAILED " << f.job.app << '/' << f.job.config
+              << " after " << f.attempts << " attempt(s)"
+              << (f.timed_out ? " (timed out)" : "") << ": " << f.error
+              << '\n';
+    exec::TimingCell cell;
+    cell.app = f.job.app;
+    cell.config = f.job.config;
+    cell.failed = true;
+    cell.timed_out = f.timed_out;
+    cell.attempts = f.attempts;
+    cell.error = f.error;
+    Timing().Record(std::move(cell));
+
+    // Tombstone the exhausted cell in the memo with the same
+    // value-initialized result as run.results[f.index]: benches re-read
+    // cells through Run() in their table loops, and without this the
+    // non-sticky memo would re-simulate the known-bad cell and throw
+    // mid-table. The failure is already on record (stderr, timing log,
+    // FailedCells()).
+    Memo& memo = GlobalMemo();
+    CellState* state = nullptr;
+    {
+      std::lock_guard<std::mutex> reg(memo.mu);
+      state = &memo.cells[KeyFor(f.job.app, f.job.config, scale)];
+    }
+    std::lock_guard<std::mutex> cl(state->mu);
+    if (!state->done && !state->running) {
+      state->result = RunResult{};
+      state->done = true;
+    }
+  }
+  g_failed_cells += run.failures.size();
+  return std::move(run.results);
 }
 
 std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
@@ -401,5 +587,9 @@ std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
 double Normalize(double value, double base) {
   return base == 0.0 ? 0.0 : value / base;
 }
+
+std::size_t FailedCells() { return g_failed_cells.load(); }
+
+int ExitStatus() { return FailedCells() == 0 ? 0 : 1; }
 
 }  // namespace dlpsim::bench

@@ -40,6 +40,27 @@
 //   DLPSIM_TRACE_EVENTS   - trace ring-buffer capacity (default 1048576)
 //   DLPSIM_TRACE_INTERVAL - timeline sample interval in core cycles
 //                           (default 5000)
+//   DLPSIM_FAULTS     - fault-injection spec (see robust/fault.h), e.g.
+//                       "1" for the default plan or
+//                       "seed=7,count=16,horizon=300000,stall=500,
+//                        kinds=pdpt+pl+vta". Implies DLPSIM_NOCACHE in
+//                       both directions: faulty results are never stored
+//                       and clean cached results are never served. The
+//                       applied plan is written to
+//                       DLPSIM_TIMING_DIR/<app>_<config>_faults.json.
+//   DLPSIM_WATCHDOG   - arm the forward-progress watchdog with this
+//                       no-progress threshold in core cycles (e.g.
+//                       200000); a trip writes a diagnostic JSON next to
+//                       the fault artifact, prints it to stderr and makes
+//                       the cell fail with a typed error naming the
+//                       stalled resource. Unset/0 = off.
+//   DLPSIM_CHECK      - 1 = run the opt-in invariant checker every few
+//                       thousand cycles (see robust/invariants.h);
+//                       0 = force off even in DLPSIM_CHECKED builds.
+//   DLPSIM_JOB_TIMEOUT - per-attempt wall-clock budget in seconds for
+//                       RunGrid cells (cooperative: an over-budget
+//                       attempt is discarded and counted as a timed-out
+//                       failure). Unset/0 = no timeout.
 #pragma once
 
 #include <cstdint>
@@ -101,6 +122,11 @@ RunResult Run(const std::string& abbr, const std::string& config,
 /// and returns results in app-major grid order: cell (a, c) at index
 /// a * configs.size() + c. jobs == 0 resolves DLPSIM_JOBS (default:
 /// hardware concurrency); DLPSIM_TRACE forces jobs = 1.
+///
+/// Resilient: a throwing or timed-out cell is retried once and, if it
+/// still fails, recorded as a failed cell in <bench>_timing.json (and in
+/// FailedCells()) while its siblings run to completion. Failed cells'
+/// result slots are value-initialized.
 std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
                                const std::vector<std::string>& configs,
                                std::size_t jobs = 0);
@@ -154,5 +180,14 @@ double Scale();
 /// Normalizes `value` to the same app's metric under `base` (helper for
 /// "normalized to baseline" figure rows); returns 0 when base is 0.
 double Normalize(double value, double base);
+
+/// Number of grid cells that exhausted their retries across every RunGrid
+/// call in this process.
+std::size_t FailedCells();
+
+/// Process exit code for benches: 0 when every grid cell succeeded, 1
+/// otherwise. Benches call this AFTER printing every table they could
+/// compute, so partial results are never discarded by one bad cell.
+int ExitStatus();
 
 }  // namespace dlpsim::bench

@@ -49,5 +49,5 @@ int main(int argc, char** argv) {
               m.completed != 0 ? "y" : "TIMEOUT"});
   }
   std::cout << t.Render();
-  return 0;
+  return bench::ExitStatus();
 }

@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
 
   std::cout << "Speedup with DLP: "
             << Fmt(base.ipc() == 0 ? 0 : dlp.ipc() / base.ipc(), 3) << "x\n";
-  return 0;
+  return bench::ExitStatus();
 }

@@ -50,9 +50,13 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open " << argv[1] << '\n';
       return 1;
     }
-    std::string err;
-    trace = ParseTrace(in, &err);
-    if (!err.empty()) std::cerr << "trace warnings:\n" << err;
+    // Strict parsing: a malformed or truncated user trace is an error
+    // with a line number, not a silent replay of a garbage prefix.
+    TraceParseError err;
+    if (!ParseTraceStrict(in, &trace, &err)) {
+      std::cerr << argv[1] << ": " << err.ToString() << '\n';
+      return 1;
+    }
   } else {
     trace = DemoTrace();
     std::cout << "(no trace file given; using the built-in demo trace)\n";

@@ -4,39 +4,111 @@
 
 namespace dlpsim {
 
+namespace {
+
+enum class LineKind { kAccess, kBlank, kBad };
+
+/// Parses one trace line into `out`. Shared by the lenient and strict
+/// parsers so the two can never drift apart on what "valid" means.
+LineKind ParseTraceLine(const std::string& line, TraceAccess* out,
+                        std::string* message) {
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') {
+    return LineKind::kBlank;
+  }
+
+  std::istringstream ls(line);
+  std::string op;
+  std::string addr_str;
+  std::uint64_t pc = 0;
+  if (!(ls >> op >> addr_str >> pc)) {
+    *message = "expected 'L|S <address> <pc>', got '" + line + "'";
+    return LineKind::kBad;
+  }
+  if (op != "L" && op != "S") {
+    *message = "unknown op '" + op + "' (expected L or S)";
+    return LineKind::kBad;
+  }
+  std::string trailing;
+  if (ls >> trailing) {
+    *message = "trailing garbage '" + trailing + "'";
+    return LineKind::kBad;
+  }
+  out->type = op == "L" ? AccessType::kLoad : AccessType::kStore;
+  out->pc = static_cast<Pc>(pc);
+  try {
+    std::size_t consumed = 0;
+    out->addr = std::stoull(addr_str, &consumed, 0);  // 0x... or decimal
+    if (consumed != addr_str.size()) {
+      *message = "bad address '" + addr_str + "'";
+      return LineKind::kBad;
+    }
+  } catch (const std::exception&) {
+    *message = "bad address '" + addr_str + "'";
+    return LineKind::kBad;
+  }
+  return LineKind::kAccess;
+}
+
+}  // namespace
+
 std::vector<TraceAccess> ParseTrace(std::istream& in, std::string* error) {
   std::vector<TraceAccess> trace;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const auto first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') continue;
-
-    std::istringstream ls(line);
-    std::string op;
-    std::string addr_str;
-    std::uint64_t pc = 0;
-    if (!(ls >> op >> addr_str >> pc) || (op != "L" && op != "S")) {
-      if (error != nullptr) {
-        *error += "line " + std::to_string(line_no) + ": unparseable\n";
-      }
-      continue;
-    }
     TraceAccess access;
-    access.type = op == "L" ? AccessType::kLoad : AccessType::kStore;
-    access.pc = static_cast<Pc>(pc);
-    try {
-      access.addr = std::stoull(addr_str, nullptr, 0);  // 0x... or decimal
-    } catch (const std::exception&) {
-      if (error != nullptr) {
-        *error += "line " + std::to_string(line_no) + ": bad address\n";
-      }
-      continue;
+    std::string message;
+    switch (ParseTraceLine(line, &access, &message)) {
+      case LineKind::kAccess:
+        trace.push_back(access);
+        break;
+      case LineKind::kBlank:
+        break;
+      case LineKind::kBad:
+        if (error != nullptr) {
+          *error += "line " + std::to_string(line_no) + ": " + message + "\n";
+        }
+        break;
     }
-    trace.push_back(access);
   }
   return trace;
+}
+
+bool ParseTraceStrict(std::istream& in, std::vector<TraceAccess>* out,
+                      TraceParseError* error) {
+  out->clear();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    TraceAccess access;
+    std::string message;
+    switch (ParseTraceLine(line, &access, &message)) {
+      case LineKind::kAccess:
+        out->push_back(access);
+        break;
+      case LineKind::kBlank:
+        break;
+      case LineKind::kBad:
+        if (error != nullptr) {
+          error->line = line_no;
+          error->message = std::move(message);
+        }
+        return false;
+    }
+  }
+  // A read error (I/O failure, not EOF) means the trace is truncated in a
+  // way the line loop cannot see.
+  if (in.bad()) {
+    if (error != nullptr) {
+      error->line = 0;
+      error->message = "stream read error after line " + std::to_string(line_no);
+    }
+    return false;
+  }
+  return true;
 }
 
 void TraceReplayer::Advance(Cycle now) {

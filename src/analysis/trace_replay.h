@@ -34,9 +34,28 @@ struct TraceAccess {
 };
 
 /// Parses the text format above. Invalid lines are reported via the
-/// optional error output and skipped.
+/// optional error output and skipped (lenient mode, for exploratory use
+/// on dirty traces).
 std::vector<TraceAccess> ParseTrace(std::istream& in,
                                     std::string* error = nullptr);
+
+/// Typed parse failure: which line is malformed and why.
+struct TraceParseError {
+  std::size_t line = 0;  // 1-based; 0 for stream-level failures
+  std::string message;
+
+  std::string ToString() const {
+    return line == 0 ? message : "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Strict variant: stops at the FIRST malformed, truncated or trailing-
+/// garbage line and reports it as a typed error instead of silently
+/// replaying a partial trace. Returns false (with *error filled and *out
+/// holding every access before the bad line) on failure. Tools replaying
+/// user-supplied trace files should use this.
+bool ParseTraceStrict(std::istream& in, std::vector<TraceAccess>* out,
+                      TraceParseError* error);
 
 struct ReplayResult {
   std::uint64_t cycles = 0;
@@ -53,9 +72,12 @@ struct ReplayResult {
 
 class TraceReplayer {
  public:
+  /// Validates `cfg` (throws ConfigError) before building the cache:
+  /// replay drives the L1D without GpuSimulator, so it needs its own
+  /// fail-fast gate against UB-producing geometry.
   explicit TraceReplayer(const L1DConfig& cfg,
                          std::uint32_t fill_latency = 200)
-      : cache_(cfg), fill_latency_(fill_latency) {}
+      : cache_((cfg.ValidateOrThrow(), cfg)), fill_latency_(fill_latency) {}
 
   /// Replays the whole trace; returns aggregate results. The cache keeps
   /// its state across calls (call Reset() between independent traces).

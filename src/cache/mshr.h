@@ -53,6 +53,16 @@ class MshrTable {
     return it == table_.end() ? 0 : it->second.size();
   }
 
+  /// All blocks with in-flight entries, in unspecified order. Used by the
+  /// invariant checker (robust/) to cross-check the MSHR against the tag
+  /// array's RESERVED lines.
+  std::vector<Addr> Blocks() const {
+    std::vector<Addr> out;
+    out.reserve(table_.size());
+    for (const auto& [block, _] : table_) out.push_back(block);
+    return out;
+  }
+
  private:
   std::uint32_t capacity_;
   std::uint32_t max_merged_;

@@ -93,7 +93,25 @@ void L1DCache::EvictFor(std::uint32_t set, std::uint32_t way, Addr new_block,
   }
 }
 
+void L1DCache::InjectProtectedLifeFlip(std::uint32_t set, std::uint32_t way,
+                                       std::uint32_t bit) {
+  CacheLine& line = tda_.At(set, way);
+  if (!IsOccupied(line.state)) return;  // PL is meaningless when invalid
+  const std::uint32_t pd_max = cfg_.prot.pd_max();
+  std::uint32_t corrupted = (line.protected_life ^ bit) & pd_max;
+  if (corrupted == line.protected_life) corrupted = line.protected_life ^ 1u;
+  corrupted &= pd_max;
+  pl_counters_.Move(line.protected_life, corrupted);
+  line.protected_life = corrupted;
+}
+
 AccessResult L1DCache::Access(const MemAccess& access, Cycle now) {
+  if (now < fault_blackout_until_) {
+    // Injected controller blackout: behave exactly like a reservation
+    // failure so the LD/ST unit retries next cycle.
+    ++stats_.reservation_fails;
+    return AccessResult::kReservationFail;
+  }
   const Addr block = tda_.BlockOf(access.addr);
   const std::uint32_t set = tda_.SetOfBlock(block);
   if (trace_ != nullptr) trace_->SetNow(now);

@@ -99,6 +99,34 @@ class L1DCache {
   /// lets PolicySnapshot avoid walking every set per timeline sample.
   const PlCounters& pl_counters() const { return pl_counters_; }
 
+  /// Mutable policy access for the fault injector (robust/) only.
+  ProtectionPolicy& mutable_policy() { return *policy_; }
+  /// Mutable tag-array access for white-box tests (e.g. planting the
+  /// corruptions the robust/ invariant checker must catch). Never used
+  /// on the simulation path.
+  TagArray& mutable_tda() { return tda_; }
+  /// Mutable histogram access for white-box tests that plant PL values
+  /// through mutable_tda() and must keep the counters in lockstep.
+  PlCounters& mutable_pl_counters() { return pl_counters_; }
+  std::size_t outgoing_size() const { return outgoing_.size(); }
+
+  // --- fault-injection hooks (robust/FaultInjector; never called on the
+  // normal simulation path) ---
+
+  /// Corrupts the protected-life field of (set, way) by XOR-ing `bit`
+  /// into it (clamped to the policy's 4-bit field). No-op on unoccupied
+  /// lines: PL only exists on occupied lines, and the PlCounters
+  /// histogram is kept consistent through Move().
+  void InjectProtectedLifeFlip(std::uint32_t set, std::uint32_t way,
+                               std::uint32_t bit);
+
+  /// Models a transient controller fault: every access before `until`
+  /// (core cycles) fails with kReservationFail, exercising the LD/ST
+  /// unit's retry path without touching cache state.
+  void InjectReservationBlackout(Cycle until) {
+    fault_blackout_until_ = until;
+  }
+
   /// Optional pre-policy observer (reuse-distance profiling).
   void SetObserver(AccessObserver* observer) { observer_ = observer; }
 
@@ -137,6 +165,7 @@ class L1DCache {
   AccessObserver* observer_ = nullptr;
   TraceSink* trace_ = nullptr;
   std::uint16_t sm_ = 0;
+  Cycle fault_blackout_until_ = 0;  // robust/: accesses fail before this
 };
 
 }  // namespace dlpsim

@@ -76,6 +76,13 @@ class PdpTable {
   /// Resets PDs and counters (between kernels).
   void Clear();
 
+  /// Overwrites one entry's protection distance, clamped to pd_max().
+  /// Fault-injection hook (robust/): models a bit flip in the PDPT's PD
+  /// field. Never called on the normal simulation path.
+  void OverridePd(std::uint32_t insn_id, std::uint32_t pd) {
+    entries_[insn_id].pd = pd > pd_max() ? pd_max() : pd;
+  }
+
   // Lifetime statistics for reporting.
   std::uint64_t samples_taken = 0;
   std::uint64_t increase_samples = 0;

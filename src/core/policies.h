@@ -110,6 +110,11 @@ class ProtectionPolicy {
   virtual const VictimTagArray* vta() const { return nullptr; }
   virtual std::uint32_t PdForPc(Pc) const { return 0; }
 
+  // Mutable table access for the fault injector (robust/) only; the
+  // normal simulation path never mutates policy tables from outside.
+  virtual PdpTable* mutable_pdpt() { return nullptr; }
+  virtual VictimTagArray* mutable_vta() { return nullptr; }
+
  protected:
   TraceSink* trace_ = nullptr;
   std::uint16_t trace_sm_ = 0;
@@ -161,6 +166,8 @@ class ProtectedLifePolicy : public ProtectionPolicy {
   const PdpTable* pdpt() const override { return &pdpt_; }
   const VictimTagArray* vta() const override { return &vta_; }
   std::uint32_t PdForPc(Pc pc) const override { return pdpt_.PdForPc(pc); }
+  PdpTable* mutable_pdpt() override { return &pdpt_; }
+  VictimTagArray* mutable_vta() override { return &vta_; }
 
  protected:
   PdpTable pdpt_;

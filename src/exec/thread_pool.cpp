@@ -1,5 +1,7 @@
 #include "exec/thread_pool.h"
 
+#include <utility>
+
 namespace dlpsim::exec {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -30,6 +32,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -44,8 +51,14 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error && !first_error_) first_error_ = error;
     --active_;
     if (queue_.empty() && active_ == 0) all_idle_.notify_all();
   }

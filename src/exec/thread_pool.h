@@ -2,15 +2,19 @@
 //
 // The pool is deliberately minimal: a FIFO task queue, condition-variable
 // wakeup, and join-on-destruction (the destructor drains every queued
-// task before returning). Tasks are plain std::function<void()> and must
-// not throw -- callers that need exception propagation capture
-// std::exception_ptr inside the task, which is exactly what
-// exec::ParallelMap (run_grid.h) does on top of this class.
+// task before returning). A task that throws is contained: the first
+// exception is captured and rethrown from the next Wait() on the calling
+// thread, and sibling tasks keep running -- a throwing job can never
+// std::terminate the process or abort the rest of the batch. Callers
+// needing *per-task* exception identity still capture std::exception_ptr
+// inside the task (exec::ParallelMap does); the pool-level capture is the
+// backstop for tasks submitted without such wrapping.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -32,7 +36,9 @@ class ThreadPool {
   /// Enqueues one task. Tasks run in FIFO order across the workers.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any task threw since the last Wait()
+  /// (the stored exception is cleared). Destruction never rethrows.
   void Wait();
 
   std::size_t num_threads() const { return workers_.size(); }
@@ -46,6 +52,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // first task exception since last Wait
   std::vector<std::thread> workers_;
 };
 

@@ -19,14 +19,26 @@ std::vector<TimingCell> TimingLog::cells() const {
   return cells_;
 }
 
+std::size_t TimingLog::FailedCells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const TimingCell& c : cells_) {
+    if (c.failed) ++n;
+  }
+  return n;
+}
+
 void TimingLog::WriteJson(std::ostream& os, const std::string& bench,
                           std::size_t jobs, double scale) const {
   const std::vector<TimingCell> cells = this->cells();
   double sim_total = 0.0;
   std::size_t simulated = 0;
   std::size_t cached = 0;
+  std::size_t failed = 0;
   for (const TimingCell& c : cells) {
-    if (c.cached) {
+    if (c.failed) {
+      ++failed;
+    } else if (c.cached) {
       ++cached;
     } else {
       ++simulated;
@@ -43,6 +55,7 @@ void TimingLog::WriteJson(std::ostream& os, const std::string& bench,
   w.KV("sim_seconds_total", sim_total);
   w.KV("cells_simulated", static_cast<std::uint64_t>(simulated));
   w.KV("cells_cached", static_cast<std::uint64_t>(cached));
+  w.KV("cells_failed", static_cast<std::uint64_t>(failed));
   w.Key("cells");
   w.BeginArray();
   for (const TimingCell& c : cells) {
@@ -51,6 +64,12 @@ void TimingLog::WriteJson(std::ostream& os, const std::string& bench,
     w.KV("config", c.config);
     w.KV("seconds", c.seconds);
     w.KV("cached", c.cached);
+    if (c.failed) {
+      w.KV("failed", true);
+      w.KV("timed_out", c.timed_out);
+      w.KV("attempts", static_cast<std::int64_t>(c.attempts));
+      w.KV("error", c.error);
+    }
     w.EndObject();
   }
   w.EndArray();

@@ -21,6 +21,13 @@ struct TimingCell {
   std::string config;
   double seconds = 0.0;  // simulation wall time (0 when served from cache)
   bool cached = false;
+  // Grid-resilience outcome (exec::TryRunJobs): cells that exhausted
+  // their retries are recorded here so a sweep's failures are data in
+  // <bench>_timing.json, not a lost process.
+  bool failed = false;
+  bool timed_out = false;
+  int attempts = 1;
+  std::string error;  // empty unless failed
 };
 
 class TimingLog {
@@ -36,9 +43,14 @@ class TimingLog {
 
   /// Writes the JSON document:
   ///   { "bench", "jobs", "scale", "wall_seconds", "sim_seconds_total",
-  ///     "cells_simulated", "cells_cached", "cells": [...] }
+  ///     "cells_simulated", "cells_cached", "cells_failed", "cells": [...] }
+  /// Failed cells additionally carry "failed", "timed_out", "attempts"
+  /// and "error".
   void WriteJson(std::ostream& os, const std::string& bench,
                  std::size_t jobs, double scale) const;
+
+  /// Number of recorded cells with failed == true.
+  std::size_t FailedCells() const;
 
  private:
   mutable std::mutex mu_;

@@ -1,12 +1,25 @@
 #include "gpu/simulator.h"
 
 #include "obs/trace_sink.h"
+#include "robust/fault.h"
+#include "robust/invariants.h"
+#include "robust/watchdog.h"
 
 namespace dlpsim {
 
+namespace {
+// Member-init-list validation gate: cfg_ is the first member, so a bad
+// configuration throws ConfigError before any tag array can assert on it.
+const SimConfig& Validated(const SimConfig& cfg) {
+  cfg.ValidateOrThrow();
+  return cfg;
+}
+}  // namespace
+
 GpuSimulator::GpuSimulator(const SimConfig& cfg, const Program* program,
                            std::uint32_t warps_per_sm, SchedulerKind sched)
-    : cfg_(cfg), icnt_(cfg.icnt, cfg.num_cores, cfg.num_partitions) {
+    : cfg_(Validated(cfg)),
+      icnt_(cfg.icnt, cfg.num_cores, cfg.num_partitions) {
   cores_.reserve(cfg.num_cores);
   for (SmId id = 0; id < cfg.num_cores; ++id) {
     cores_.emplace_back(cfg, id, program, warps_per_sm, sched);
@@ -26,7 +39,14 @@ GpuSimulator::GpuSimulator(const SimConfig& cfg, const Program* program,
       ++num_inactive_;
     }
   }
+  // Invariant checking is opt-in (DLPSIM_CHECK env / DLPSIM_CHECKED
+  // build); when enabled every simulator self-checks without callers
+  // having to know the robust/ layer exists.
+  owned_checker_ = robust::MakeCheckerFromEnv();
+  if (owned_checker_ != nullptr) checker_ = owned_checker_.get();
 }
+
+GpuSimulator::~GpuSimulator() = default;
 
 void GpuSimulator::AttachObserver(AccessObserver* observer) {
   for (SmCore& core : cores_) core.l1d().SetObserver(observer);
@@ -71,6 +91,11 @@ void GpuSimulator::Step() {
       icnt_.Tick(clocks_.cycles(icnt_domain_));
     } else if (domain == core_domain_) {
       const Cycle now = clocks_.cycles(core_domain_);
+      // Injected faults land on the core clock edge, before the cores
+      // tick, so "at cycle X" means "visible to cycle X's accesses".
+      if (faults_ != nullptr && faults_->HasDue(now)) {
+        faults_->ApplyDue(*this, now);
+      }
       // Skip cores whose TickCore is provably a no-op (drained, no
       // pending background credit, and -- since they have no outstanding
       // loads -- no replies can be routed to them). When every core is
@@ -89,8 +114,37 @@ void GpuSimulator::Step() {
       if (timeline_ != nullptr && timeline_->Due(now)) {
         timeline_->Record(now, Collect(), SnapshotPolicy());
       }
+      if (checker_ != nullptr && checker_->Due(now)) {
+        checker_->CheckAll(*this, now);
+      }
+      if (watchdog_ != nullptr && !watchdog_->tripped() &&
+          watchdog_->Due(now) && !Done()) {
+        if (watchdog_->Observe(ProgressCount(), now)) {
+          watchdog_->set_diagnostic(
+              robust::Diagnose(*this, now, watchdog_->last_progress_cycle(),
+                               watchdog_->last_signature()));
+          run_error_ = robust::RunError::kWatchdogStall;
+        }
+      }
     }
   }
+}
+
+std::uint64_t GpuSimulator::ProgressCount() const {
+  std::uint64_t n = 0;
+  for (const SmCore& core : cores_) {
+    n += core.committed_thread_insns + core.issued_warp_insns;
+    const CacheStats& s = core.l1d().stats();
+    // Completed cache work only: retried reservation failures increment
+    // stats_.reservation_fails forever during a livelock and must NOT
+    // mask the stall.
+    n += s.accesses + s.fills + s.bypasses;
+  }
+  n += icnt_.packets_delivered;
+  for (const MemoryPartition& p : partitions_) {
+    n += p.requests_served + p.dram().reads + p.dram().writes;
+  }
+  return n;
 }
 
 bool GpuSimulator::Done() const {
@@ -106,11 +160,24 @@ bool GpuSimulator::Done() const {
 }
 
 Metrics GpuSimulator::Run() {
-  while (!Done() && clocks_.cycles(core_domain_) < cfg_.max_core_cycles) {
+  while (!Done() && clocks_.cycles(core_domain_) < cfg_.max_core_cycles &&
+         run_error_ == robust::RunError::kNone) {
     Step();
   }
   Metrics m = Collect();
   m.completed = Done() ? 1 : 0;
+  if (m.completed != 0) {
+    run_error_ = robust::RunError::kNone;
+  } else if (run_error_ == robust::RunError::kNone) {
+    // The hard budget expired with warps still in flight: a typed error
+    // instead of a silent completed=0.
+    run_error_ = robust::RunError::kCycleBudget;
+  }
+  // Close-of-run self check (cheap relative to a full run; catches drift
+  // that never aligned with the periodic interval).
+  if (checker_ != nullptr) {
+    checker_->CheckAll(*this, clocks_.cycles(core_domain_));
+  }
   // Close the timeline with a final sample so the per-interval deltas
   // sum exactly to the returned Metrics.
   if (timeline_ != nullptr) {

@@ -11,6 +11,7 @@
 #include "icnt/crossbar.h"
 #include "mem/partition.h"
 #include "obs/timeline.h"
+#include "robust/error.h"
 #include "sim/clock.h"
 #include "sim/config.h"
 #include "sm/sm_core.h"
@@ -20,13 +21,22 @@ namespace dlpsim {
 
 class TraceSink;
 
+namespace robust {
+class FaultInjector;
+class InvariantChecker;
+class Watchdog;
+}  // namespace robust
+
 class GpuSimulator {
  public:
   /// Launches `warps_per_sm` warps of `program` on every core. The program
-  /// must outlive the simulator.
+  /// must outlive the simulator. Throws ConfigError when `cfg` fails
+  /// SimConfig::Validate() -- before any subsystem is built, so a bad
+  /// configuration can never reach UB inside the tag arrays.
   GpuSimulator(const SimConfig& cfg, const Program* program,
                std::uint32_t warps_per_sm,
                SchedulerKind sched = SchedulerKind::kGto);
+  ~GpuSimulator();  // out of line: unique_ptr to fwd-declared checker
 
   /// Attaches one observer to every SM's L1D. NOTE: reuse-distance
   /// profiling must use one observer per SM (see analysis/per_sm_profiler.h)
@@ -58,9 +68,44 @@ class GpuSimulator {
 
   Metrics Collect() const;
 
+  // --- resilience hooks (robust/) ---
+
+  /// Attaches a fault injector; its due events are applied on the core
+  /// clock edge. Pass nullptr to detach. Must outlive the runs.
+  void SetFaultInjector(robust::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
+  /// Attaches a forward-progress watchdog, sampled on its check interval.
+  /// A trip captures a StallDiagnostic into the watchdog and ends Run()
+  /// with RunError::kWatchdogStall. Pass nullptr to detach.
+  void SetWatchdog(robust::Watchdog* watchdog) { watchdog_ = watchdog; }
+
+  /// Attaches an invariant checker (overrides the env-constructed one).
+  void SetInvariantChecker(robust::InvariantChecker* checker) {
+    checker_ = checker;
+  }
+
+  /// Why the last Run() stopped (kNone while running / after a clean
+  /// drain; kCycleBudget when max_core_cycles expired; kWatchdogStall
+  /// when an attached watchdog tripped).
+  robust::RunError run_error() const { return run_error_; }
+
+  /// Monotone count of completed architectural work: committed and issued
+  /// instructions, cache fills/bypasses/stores, delivered packets, served
+  /// memory requests. Constant across cycles exactly when the machine
+  /// made no forward progress (retried reservation failures and burned
+  /// issue slots do NOT count). The watchdog's progress signature.
+  std::uint64_t ProgressCount() const;
+
   std::vector<SmCore>& cores() { return cores_; }
+  const std::vector<SmCore>& cores() const { return cores_; }
   Crossbar& icnt() { return icnt_; }
+  const Crossbar& icnt() const { return icnt_; }
   std::vector<MemoryPartition>& partitions() { return partitions_; }
+  const std::vector<MemoryPartition>& partitions() const {
+    return partitions_;
+  }
   Cycle core_cycles() const { return clocks_.cycles(core_domain_); }
 
  private:
@@ -79,6 +124,13 @@ class GpuSimulator {
   std::uint32_t icnt_domain_ = 0;
   std::uint32_t mem_domain_ = 0;
   TimelineSampler* timeline_ = nullptr;
+  // Resilience layer (all optional; every hook costs one null check when
+  // detached, preserving bit-identical results).
+  robust::FaultInjector* faults_ = nullptr;
+  robust::Watchdog* watchdog_ = nullptr;
+  robust::InvariantChecker* checker_ = nullptr;
+  std::unique_ptr<robust::InvariantChecker> owned_checker_;  // env-enabled
+  robust::RunError run_error_ = robust::RunError::kNone;
 };
 
 }  // namespace dlpsim

@@ -91,6 +91,11 @@ void Crossbar::Deliver(Cycle now) {
 }
 
 void Crossbar::Tick(Cycle now) {
+  if (fault_stall_cycles_ > 0) {
+    // Injected fabric stall: the cycle passes with no movement at all.
+    --fault_stall_cycles_;
+    return;
+  }
   for (Port& p : core_ports_) TickPort(p, /*to_core=*/false, now);
   for (Port& p : partition_ports_) TickPort(p, /*to_core=*/true, now);
   Deliver(now);

@@ -58,6 +58,12 @@ class Crossbar {
   /// Advances one interconnect cycle.
   void Tick(Cycle now);
 
+  /// Fault-injection hook (robust/): freezes the whole fabric for the
+  /// next `cycles` interconnect ticks (no serialization, no delivery),
+  /// modelling a transient congestion / link-retraining spike. Counts
+  /// down inside Tick; stacking injections extends the stall.
+  void InjectStallFor(std::uint64_t cycles) { fault_stall_cycles_ += cycles; }
+
   /// True when no packet is anywhere in the network (drain check).
   bool Idle() const;
 
@@ -102,6 +108,7 @@ class Crossbar {
   std::deque<InFlight> flight_;        // serialized, in transit (FIFO)
   std::vector<std::deque<IcntPacket>> to_partition_;  // delivery queues
   std::vector<std::deque<IcntPacket>> to_core_;
+  std::uint64_t fault_stall_cycles_ = 0;  // robust/: ticks to swallow
 
   static constexpr std::size_t kInjectQueueCap = 8;
   static constexpr std::size_t kDeliveryQueueCap = 16;

@@ -51,6 +51,11 @@ void MemoryPartition::PushReplies(Cycle now, Crossbar& icnt) {
 }
 
 void MemoryPartition::Tick(Cycle now, Crossbar& icnt) {
+  if (fault_stall_cycles_ > 0) {
+    // Injected controller stall: the memory cycle passes unused.
+    --fault_stall_cycles_;
+    return;
+  }
   HandleDramCompletions(now);
 
   // One L2 access per memory cycle (single-ported slice). Stalled requests

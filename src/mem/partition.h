@@ -26,6 +26,11 @@ class MemoryPartition {
 
   bool Idle() const;
 
+  /// Fault-injection hook (robust/): the partition ignores the next
+  /// `cycles` memory-domain ticks (no L2 service, no DRAM progress, no
+  /// replies), modelling a transient controller stall.
+  void InjectStallFor(std::uint64_t cycles) { fault_stall_cycles_ += cycles; }
+
   const L2Cache& l2() const { return l2_; }
   const DramChannel& dram() const { return dram_; }
   PartitionId id() const { return id_; }
@@ -56,6 +61,7 @@ class MemoryPartition {
   std::deque<PendingReply> replies_;     // FIFO of replies awaiting icnt
   std::deque<IcntPacket> retry_;         // requests stalled by the L2
   std::deque<DramChannel::Request> dram_backlog_;  // L2 misses / writes
+  std::uint64_t fault_stall_cycles_ = 0;           // robust/: ticks to swallow
 };
 
 }  // namespace dlpsim

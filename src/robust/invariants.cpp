@@ -1,0 +1,201 @@
+#include "robust/invariants.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/l1d_cache.h"
+#include "gpu/simulator.h"
+
+namespace dlpsim::robust {
+
+std::string CheckPlClamp(const L1DCache& l1d) {
+  const std::uint32_t pd_max = l1d.config().prot.pd_max();
+  const TagArray& tda = l1d.tda();
+  for (std::uint32_t set = 0; set < tda.geom().sets; ++set) {
+    auto view = tda.SetView(set);
+    for (std::uint32_t way = 0; way < view.size(); ++way) {
+      const CacheLine& line = view[way];
+      if (IsOccupied(line.state) && line.protected_life > pd_max) {
+        std::ostringstream os;
+        os << "line (" << set << ", " << way << ") has protected_life "
+           << line.protected_life << " > pd_max " << pd_max;
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckPlCounters(const L1DCache& l1d) {
+  std::array<std::uint64_t, 16> walk{};
+  const TagArray& tda = l1d.tda();
+  for (std::uint32_t set = 0; set < tda.geom().sets; ++set) {
+    for (const CacheLine& line : tda.SetView(set)) {
+      if (IsOccupied(line.state)) {
+        ++walk[PlCounters::Bucket(line.protected_life)];
+      }
+    }
+  }
+  const PlCounters& pl = l1d.pl_counters();
+  for (std::size_t b = 0; b < walk.size(); ++b) {
+    if (walk[b] != pl.histogram[b]) {
+      std::ostringstream os;
+      os << "PlCounters bucket " << b << " holds " << pl.histogram[b]
+         << " but a tag walk finds " << walk[b] << " occupied lines";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckMshrConsistency(const L1DCache& l1d) {
+  // Every RESERVED line must have an in-flight MSHR entry for its block,
+  // and vice versa (the L1D allocates both together and retires both on
+  // fill). Count both directions and compare totals for the bijection.
+  const TagArray& tda = l1d.tda();
+  const MshrTable& mshr = l1d.mshr();
+  std::uint64_t reserved = 0;
+  for (std::uint32_t set = 0; set < tda.geom().sets; ++set) {
+    for (const CacheLine& line : tda.SetView(set)) {
+      if (line.state != LineState::kReserved) continue;
+      ++reserved;
+      if (!mshr.HasEntry(line.block)) {
+        std::ostringstream os;
+        os << "RESERVED line for block " << line.block << " in set " << set
+           << " has no MSHR entry";
+        return os.str();
+      }
+    }
+  }
+  // MSHR entries without a RESERVED line are legal only for bypassed
+  // loads -- but those never allocate MSHR entries in this model, so any
+  // excess entry is orphaned state.
+  if (mshr.size() != reserved) {
+    for (Addr block : mshr.Blocks()) {
+      const std::uint32_t set = tda.SetOfBlock(block);
+      const std::uint32_t way = tda.Probe(set, block);
+      if (way == kInvalidIndex ||
+          tda.SetView(set)[way].state != LineState::kReserved) {
+        std::ostringstream os;
+        os << "MSHR entry for block " << block
+           << " has no matching RESERVED line in set " << set;
+        return os.str();
+      }
+    }
+    std::ostringstream os;
+    os << "MSHR holds " << mshr.size() << " entries but the tag array has "
+       << reserved << " RESERVED lines";
+    return os.str();
+  }
+  return "";
+}
+
+std::string CheckLruValidity(const L1DCache& l1d) {
+  const TagArray& tda = l1d.tda();
+  for (std::uint32_t set = 0; set < tda.geom().sets; ++set) {
+    auto view = tda.SetView(set);
+    std::unordered_set<Addr> blocks;
+    std::unordered_set<std::uint64_t> stamps;
+    for (const CacheLine& line : view) {
+      if (!IsOccupied(line.state)) continue;
+      if (!blocks.insert(line.block).second) {
+        std::ostringstream os;
+        os << "set " << set << " holds block " << line.block << " twice";
+        return os.str();
+      }
+      // Occupied lines always took a fresh ++use_clock_ stamp; a duplicate
+      // stamp would make LRU selection ambiguous (and non-deterministic
+      // under reordering).
+      if (!stamps.insert(line.last_use).second) {
+        std::ostringstream os;
+        os << "set " << set << " has two occupied lines with LRU stamp "
+           << line.last_use;
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckPdpt(const L1DCache& l1d) {
+  const PdpTable* pdpt = l1d.policy().pdpt();
+  if (pdpt == nullptr) return "";  // baseline / stall-bypass
+  const std::uint32_t pd_max = pdpt->pd_max();
+  const std::uint32_t tda_max =
+      (1u << l1d.config().prot.tda_hit_bits) - 1u;
+  const std::uint32_t vta_max =
+      (1u << l1d.config().prot.vta_hit_bits) - 1u;
+  for (std::uint32_t i = 0; i < pdpt->size(); ++i) {
+    if (pdpt->Pd(i) > pd_max) {
+      std::ostringstream os;
+      os << "PDPT entry " << i << " has PD " << pdpt->Pd(i) << " > pd_max "
+         << pd_max;
+      return os.str();
+    }
+    if (pdpt->tda_hits(i) > tda_max || pdpt->vta_hits(i) > vta_max) {
+      std::ostringstream os;
+      os << "PDPT entry " << i << " hit counters (" << pdpt->tda_hits(i)
+         << ", " << pdpt->vta_hits(i) << ") exceed their bit widths";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckL1D(const L1DCache& l1d) {
+  struct Named {
+    const char* name;
+    std::string (*fn)(const L1DCache&);
+  };
+  static constexpr Named kChecks[] = {
+      {"pl_clamp", CheckPlClamp},
+      {"pl_counters", CheckPlCounters},
+      {"mshr_consistency", CheckMshrConsistency},
+      {"lru_validity", CheckLruValidity},
+      {"pdpt_bounds", CheckPdpt},
+  };
+  for (const Named& c : kChecks) {
+    std::string violation = c.fn(l1d);
+    if (!violation.empty()) {
+      return std::string(c.name) + ": " + violation;
+    }
+  }
+  return "";
+}
+
+void InvariantChecker::CheckAll(const GpuSimulator& gpu, Cycle now) {
+  next_check_ = now + interval_;
+  ++checks_run_;
+  for (const SmCore& core : gpu.cores()) {
+    std::string violation = CheckL1D(core.l1d());
+    if (violation.empty()) continue;
+    ++violations_;
+    const std::size_t colon = violation.find(':');
+    const std::string check = violation.substr(0, colon);
+    const std::string details =
+        colon == std::string::npos ? violation : violation.substr(colon + 2);
+    last_violation_ = "sm" + std::to_string(core.id()) + " " + violation;
+    if (throw_) throw InvariantError(check, core.id(), details);
+  }
+}
+
+bool ChecksEnabledByEnv() {
+  if (const char* v = std::getenv("DLPSIM_CHECK"); v != nullptr) {
+    return *v != '\0' && std::string(v) != "0";
+  }
+#ifdef DLPSIM_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<InvariantChecker> MakeCheckerFromEnv() {
+  if (!ChecksEnabledByEnv()) return nullptr;
+  return std::make_unique<InvariantChecker>();
+}
+
+}  // namespace dlpsim::robust

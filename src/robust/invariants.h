@@ -1,0 +1,103 @@
+// Opt-in structural invariant checker for the L1D and its DLP side
+// structures.
+//
+// The protection machinery maintains several redundant encodings of the
+// same state (PL fields vs the incremental PlCounters histogram, RESERVED
+// lines vs MSHR entries, saturating PDPT counters vs their bit widths);
+// a bug in any maintenance path corrupts replacement decisions silently.
+// The checker re-derives each encoding by brute force and compares.
+//
+// Enabled either per-process (DLPSIM_CHECK=1) or for a whole build
+// (-DDLPSIM_CHECKED=ON, which the CI Debug job uses); DLPSIM_CHECK=0
+// overrides the build default. GpuSimulator constructs and owns a checker
+// automatically when enabled and runs it every `check_interval` core
+// cycles plus once at the end of Run(). Checks never mutate simulator
+// state, so enabling them cannot change results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.h"
+
+namespace dlpsim {
+class GpuSimulator;
+class L1DCache;
+}  // namespace dlpsim
+
+namespace dlpsim::robust {
+
+/// Thrown (by default) on the first violated invariant.
+class InvariantError : public std::runtime_error {
+ public:
+  InvariantError(std::string check, std::uint32_t sm, std::string details)
+      : std::runtime_error("invariant '" + check + "' violated on sm" +
+                           std::to_string(sm) + ": " + details),
+        check_(std::move(check)),
+        sm_(sm),
+        details_(std::move(details)) {}
+
+  const std::string& check() const { return check_; }
+  std::uint32_t sm() const { return sm_; }
+  const std::string& details() const { return details_; }
+
+ private:
+  std::string check_;
+  std::uint32_t sm_;
+  std::string details_;
+};
+
+/// Each check returns an empty string when the invariant holds, else a
+/// description of the first violation found. All are pure observers.
+///
+/// Every cached line's PL fits the 4-bit field (<= prot.pd_max()).
+std::string CheckPlClamp(const L1DCache& l1d);
+/// The incremental PlCounters histogram equals a brute-force tag walk.
+std::string CheckPlCounters(const L1DCache& l1d);
+/// RESERVED lines and MSHR entries are in bijection.
+std::string CheckMshrConsistency(const L1DCache& l1d);
+/// Per set: occupied lines have distinct blocks and distinct LRU stamps.
+std::string CheckLruValidity(const L1DCache& l1d);
+/// Every PDPT entry's PD and hit counters respect their bit widths.
+std::string CheckPdpt(const L1DCache& l1d);
+
+/// Runs every check against one L1D; returns "" or the first violation
+/// (prefixed with the check name).
+std::string CheckL1D(const L1DCache& l1d);
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(Cycle check_interval = 4096,
+                            bool throw_on_violation = true)
+      : interval_(check_interval), throw_(throw_on_violation) {}
+
+  bool Due(Cycle now) const { return now >= next_check_; }
+
+  /// Checks every SM's L1D. Throws InvariantError on the first violation
+  /// (or records it, when constructed with throw_on_violation=false).
+  void CheckAll(const GpuSimulator& gpu, Cycle now);
+
+  std::uint64_t checks_run() const { return checks_run_; }
+  std::uint64_t violations() const { return violations_; }
+  const std::string& last_violation() const { return last_violation_; }
+
+ private:
+  Cycle interval_;
+  bool throw_;
+  Cycle next_check_ = 0;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t violations_ = 0;
+  std::string last_violation_;
+};
+
+/// True when invariant checking is requested for this process: the
+/// DLPSIM_CHECK environment variable when set ("0" disables, anything
+/// else enables), otherwise the DLPSIM_CHECKED compile-time default.
+bool ChecksEnabledByEnv();
+
+/// Returns an owning checker when ChecksEnabledByEnv(), else nullptr.
+std::unique_ptr<InvariantChecker> MakeCheckerFromEnv();
+
+}  // namespace dlpsim::robust

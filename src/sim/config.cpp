@@ -1,6 +1,29 @@
 #include "sim/config.h"
 
+#include <sstream>
+
 namespace dlpsim {
+namespace {
+
+bool IsPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::string RenderIssues(const std::vector<ConfigIssue>& issues) {
+  std::ostringstream os;
+  os << "invalid SimConfig (" << issues.size()
+     << (issues.size() == 1 ? " issue):" : " issues):");
+  for (const ConfigIssue& i : issues) os << "\n  " << i.ToString();
+  return os.str();
+}
+
+void Require(bool ok, const std::string& field, const std::string& message,
+             std::vector<ConfigIssue>& issues) {
+  if (!ok) issues.push_back(ConfigIssue{field, message});
+}
+
+}  // namespace
+
+ConfigError::ConfigError(std::vector<ConfigIssue> issues)
+    : std::invalid_argument(RenderIssues(issues)), issues_(std::move(issues)) {}
 
 const char* ToString(PolicyKind k) {
   switch (k) {
@@ -34,6 +57,111 @@ SimConfig SimConfig::WithPolicy(PolicyKind k) {
   SimConfig c;
   c.l1d.policy = k;
   return c;
+}
+
+void CacheGeometry::AppendIssues(const std::string& prefix,
+                                 std::vector<ConfigIssue>& issues) const {
+  Require(sets > 0 && IsPowerOfTwo(sets), prefix + ".sets",
+          "must be a nonzero power of two (got " + std::to_string(sets) + ")",
+          issues);
+  Require(ways > 0, prefix + ".ways", "must be nonzero", issues);
+  Require(line_bytes >= 8 && IsPowerOfTwo(line_bytes), prefix + ".line_bytes",
+          "must be a power of two >= 8 (got " + std::to_string(line_bytes) +
+              ")",
+          issues);
+}
+
+std::vector<ConfigIssue> L1DConfig::Validate() const {
+  std::vector<ConfigIssue> issues;
+  geom.AppendIssues("l1d.geom", issues);
+  Require(mshr_entries > 0, "l1d.mshr_entries", "must be nonzero", issues);
+  Require(mshr_max_merged > 0, "l1d.mshr_max_merged", "must be nonzero",
+          issues);
+  // A write-back miss with a dirty victim needs two miss-queue slots in the
+  // same cycle (writeback + refill request); one slot can never drain it and
+  // the warp livelocks on kReservationFail forever.
+  const std::uint32_t min_mq =
+      write_policy == WritePolicy::kWriteBackOnHit ? 2u : 1u;
+  Require(miss_queue_entries >= min_mq, "l1d.miss_queue_entries",
+          "must be >= " + std::to_string(min_mq) +
+              " for this write policy (got " +
+              std::to_string(miss_queue_entries) + ")",
+          issues);
+  Require(hit_latency > 0, "l1d.hit_latency", "must be nonzero", issues);
+  // Protection tables: PD/PL live in pd_bits-wide fields that the policy
+  // clamps to pd_max(); 0 bits means "no protection at all" and > 4 bits
+  // overflows the 16-bucket PlCounters histogram assumed by SnapshotPolicy.
+  Require(prot.pd_bits >= 1 && prot.pd_bits <= 4, "l1d.prot.pd_bits",
+          "must be in [1, 4] (got " + std::to_string(prot.pd_bits) + ")",
+          issues);
+  Require(prot.pdpt_entries > 0, "l1d.prot.pdpt_entries", "must be nonzero",
+          issues);
+  Require(prot.insn_id_bits >= 1 && prot.insn_id_bits <= 16,
+          "l1d.prot.insn_id_bits",
+          "must be in [1, 16] (got " + std::to_string(prot.insn_id_bits) + ")",
+          issues);
+  if (prot.insn_id_bits >= 1 && prot.insn_id_bits <= 16) {
+    Require((1u << prot.insn_id_bits) <= prot.pdpt_entries,
+            "l1d.prot.insn_id_bits",
+            "2^insn_id_bits (" + std::to_string(1u << prot.insn_id_bits) +
+                ") must not exceed pdpt_entries (" +
+                std::to_string(prot.pdpt_entries) + ")",
+            issues);
+  }
+  Require(prot.sample_accesses > 0, "l1d.prot.sample_accesses",
+          "must be nonzero", issues);
+  Require(prot.sample_max_cycles > 0, "l1d.prot.sample_max_cycles",
+          "must be nonzero", issues);
+  Require(prot.tda_hit_bits >= 1 && prot.tda_hit_bits <= 32,
+          "l1d.prot.tda_hit_bits", "must be in [1, 32]", issues);
+  Require(prot.vta_hit_bits >= 1 && prot.vta_hit_bits <= 32,
+          "l1d.prot.vta_hit_bits", "must be in [1, 32]", issues);
+  return issues;
+}
+
+void L1DConfig::ValidateOrThrow() const {
+  std::vector<ConfigIssue> issues = Validate();
+  if (!issues.empty()) throw ConfigError(std::move(issues));
+}
+
+std::vector<ConfigIssue> SimConfig::Validate() const {
+  std::vector<ConfigIssue> issues = l1d.Validate();
+  l2.geom.AppendIssues("l2.geom", issues);
+  Require(l2.mshr_entries > 0, "l2.mshr_entries", "must be nonzero", issues);
+  Require(l2.mshr_max_merged > 0, "l2.mshr_max_merged", "must be nonzero",
+          issues);
+  Require(l2.miss_queue_entries > 0, "l2.miss_queue_entries",
+          "must be nonzero", issues);
+  Require(num_cores > 0, "num_cores", "must be nonzero", issues);
+  Require(num_partitions > 0, "num_partitions", "must be nonzero", issues);
+  Require(core_mhz > 0.0, "core_mhz", "must be positive", issues);
+  Require(icnt_mhz > 0.0, "icnt_mhz", "must be positive", issues);
+  Require(mem_mhz > 0.0, "mem_mhz", "must be positive", issues);
+  Require(core.warp_size > 0, "core.warp_size", "must be nonzero", issues);
+  Require(core.max_warps > 0, "core.max_warps", "must be nonzero", issues);
+  Require(core.num_schedulers > 0, "core.num_schedulers", "must be nonzero",
+          issues);
+  Require(core.ldst_width > 0, "core.ldst_width", "must be nonzero", issues);
+  Require(core.ldst_queue_entries > 0, "core.ldst_queue_entries",
+          "must be nonzero", issues);
+  Require(partition_chunk_bytes > 0, "partition_chunk_bytes",
+          "must be nonzero", issues);
+  Require(max_core_cycles > 0, "max_core_cycles", "must be nonzero", issues);
+  Require(icnt.bytes_per_cycle_per_port > 0, "icnt.bytes_per_cycle_per_port",
+          "must be nonzero", issues);
+  Require(icnt.request_size > 0, "icnt.request_size", "must be nonzero",
+          issues);
+  Require(dram.banks > 0, "dram.banks", "must be nonzero", issues);
+  Require(dram.row_bytes > 0 && IsPowerOfTwo(dram.row_bytes), "dram.row_bytes",
+          "must be a nonzero power of two", issues);
+  Require(dram.bus_bytes_per_cycle > 0, "dram.bus_bytes_per_cycle",
+          "must be nonzero", issues);
+  return issues;
+}
+
+void SimConfig::ValidateOrThrow() const {
+  std::vector<ConfigIssue> issues = Validate();
+  if (!issues.empty()) throw ConfigError(std::move(issues));
 }
 
 }  // namespace dlpsim

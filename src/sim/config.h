@@ -3,12 +3,33 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "sim/rng.h"
 #include "sim/types.h"
 
 namespace dlpsim {
+
+/// One structured validation finding: which field is wrong and why.
+struct ConfigIssue {
+  std::string field;    // dotted path, e.g. "l1d.geom.sets"
+  std::string message;  // human-readable constraint, e.g. "must be a power of two (got 33)"
+
+  std::string ToString() const { return field + ": " + message; }
+};
+
+/// Thrown by ValidateOrThrow(): carries every issue found, not just the
+/// first, so a misconfigured sweep can be fixed in one pass.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(std::vector<ConfigIssue> issues);
+  const std::vector<ConfigIssue>& issues() const { return issues_; }
+
+ private:
+  std::vector<ConfigIssue> issues_;
+};
 
 /// Which L1D management scheme to run (paper §5.3).
 enum class PolicyKind : std::uint8_t {
@@ -37,6 +58,11 @@ struct CacheGeometry {
   std::uint64_t size_bytes() const {
     return static_cast<std::uint64_t>(sets) * ways * line_bytes;
   }
+
+  /// Structural constraints (power-of-two sets/line size, nonzero ways);
+  /// `prefix` labels the owning cache in the issue's field path.
+  void AppendIssues(const std::string& prefix,
+                    std::vector<ConfigIssue>& issues) const;
 };
 
 /// DLP / Global-Protection tunables (paper §4).
@@ -78,6 +104,12 @@ struct L1DConfig {
   std::uint32_t hit_latency = 1;  // core cycles
   ProtectionConfig prot;
   PolicyKind policy = PolicyKind::kBaseline;
+
+  /// L1D-level constraints (geometry, MSHR/miss-queue sizing vs the write
+  /// policy, protection-table consistency). Used by SimConfig::Validate()
+  /// and directly by cache-only drivers (TraceReplayer).
+  std::vector<ConfigIssue> Validate() const;
+  void ValidateOrThrow() const;
 };
 
 /// One L2 slice (per memory partition). Table 1: 768KB total over 12
@@ -166,6 +198,15 @@ struct SimConfig {
   static SimConfig Cache32KB();      // 8-way, same sets (paper §5.3)
   static SimConfig Cache64KB();      // 16-way, same sets (Fig. 4/5)
   static SimConfig WithPolicy(PolicyKind k);  // baseline geometry + policy
+
+  /// Whole-config structural validation. Returns every violated
+  /// constraint (empty = valid); a bad config would otherwise produce UB
+  /// (non-power-of-two set indexing), a guaranteed livelock (a write-back
+  /// L1D whose miss queue cannot ever fit a dirty miss) or nonsense
+  /// metrics (zero clocks). GpuSimulator's constructor calls
+  /// ValidateOrThrow() so experiments fail fast with a structured error.
+  std::vector<ConfigIssue> Validate() const;
+  void ValidateOrThrow() const;
 };
 
 }  // namespace dlpsim

@@ -135,5 +135,69 @@ TEST(TraceReplay, StoresFlowThrough) {
   EXPECT_EQ(r.cache.loads, 1u);
 }
 
+
+TEST(ParseTraceStrict, AcceptsCleanTraceWithCommentsAndBlanks) {
+  std::istringstream in(
+      "# header comment\n"
+      "L 0x80 1\n"
+      "\n"
+      "S 256 2\n"
+      "  # indented comment\n"
+      "L 0x100 3\n");
+  std::vector<TraceAccess> out;
+  TraceParseError err;
+  ASSERT_TRUE(ParseTraceStrict(in, &out, &err));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].addr, 0x80u);
+  EXPECT_EQ(out[1].type, AccessType::kStore);
+  EXPECT_EQ(out[2].pc, 3u);
+}
+
+TEST(ParseTraceStrict, ReportsLineNumberOfFirstBadLine) {
+  std::istringstream in(
+      "L 0x80 1\n"
+      "S 256 2\n"
+      "X 512 3\n"
+      "L 1024 4\n");
+  std::vector<TraceAccess> out;
+  TraceParseError err;
+  ASSERT_FALSE(ParseTraceStrict(in, &out, &err));
+  EXPECT_EQ(err.line, 3u);
+  EXPECT_NE(err.message.find("unknown op"), std::string::npos);
+  EXPECT_NE(err.ToString().find("line 3"), std::string::npos);
+  // The prefix before the bad line survives for diagnostics.
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ParseTraceStrict, RejectsTruncatedAndGarbageLines) {
+  {
+    std::istringstream in("L 0x80\n");  // missing pc: truncated record
+    std::vector<TraceAccess> out;
+    TraceParseError err;
+    ASSERT_FALSE(ParseTraceStrict(in, &out, &err));
+    EXPECT_EQ(err.line, 1u);
+  }
+  {
+    std::istringstream in("L 0x80 1 extra\n");
+    std::vector<TraceAccess> out;
+    TraceParseError err;
+    ASSERT_FALSE(ParseTraceStrict(in, &out, &err));
+    EXPECT_NE(err.message.find("trailing garbage"), std::string::npos);
+  }
+  {
+    std::istringstream in("L 0xZZ 1\n");
+    std::vector<TraceAccess> out;
+    TraceParseError err;
+    ASSERT_FALSE(ParseTraceStrict(in, &out, &err));
+    EXPECT_NE(err.message.find("bad address"), std::string::npos);
+  }
+}
+
+TEST(TraceReplayer, RejectsInvalidConfigBeforeReplaying) {
+  L1DConfig cfg = SmallConfig();
+  cfg.mshr_entries = 0;
+  EXPECT_THROW(TraceReplayer(cfg, 5), ConfigError);
+}
+
 }  // namespace
 }  // namespace dlpsim

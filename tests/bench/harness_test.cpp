@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <stdexcept>
+
 namespace dlpsim::bench {
 namespace {
 
@@ -57,6 +60,64 @@ TEST(Harness, NormalizeGuardsZero) {
 TEST(Harness, ScaleDefaultsToOne) {
   // (Unless the environment overrides it -- accept any positive value.)
   EXPECT_GT(Scale(), 0.0);
+}
+
+
+TEST(Harness, GridSurvivesFailingCellAndReportsIt) {
+  // DLPSIM_NOCACHE so the bogus cell never touches the on-disk cache and
+  // the good cells are freshly simulated (cheap at this scale).
+  ASSERT_EQ(::setenv("DLPSIM_NOCACHE", "1", 1), 0);
+  const std::size_t failed_before = FailedCells();
+  const auto timing_failed_before = Timing().FailedCells();
+
+  // "nope" is not a config name: ConfigFor throws, the cell fails after
+  // its retries, and the sibling cells still finish.
+  const auto results = RunGrid({"HS"}, {"base", "nope"}, /*scale=*/0.01, 2);
+  ::unsetenv("DLPSIM_NOCACHE");
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].metrics.core_cycles, 0u);   // healthy sibling ran
+  EXPECT_EQ(results[1].metrics.core_cycles, 0u);   // failed slot zeroed
+  EXPECT_EQ(FailedCells(), failed_before + 1);
+  EXPECT_EQ(ExitStatus(), 1);
+
+  // The failure is recorded as data in the timing log.
+  ASSERT_EQ(Timing().FailedCells(), timing_failed_before + 1);
+  bool found = false;
+  for (const exec::TimingCell& c : Timing().cells()) {
+    if (c.failed && c.config == "nope") {
+      found = true;
+      EXPECT_GE(c.attempts, 1);
+      EXPECT_NE(c.error.find("unknown config"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Harness, FaultSpecParseFailureIsATypedCellError) {
+  ASSERT_EQ(::setenv("DLPSIM_FAULTS", "kinds=bogus", 1), 0);
+  EXPECT_THROW(SimulateUncached("HS", "base", 0.01), std::invalid_argument);
+  ::unsetenv("DLPSIM_FAULTS");
+}
+
+TEST(Harness, FaultedRunCompletesAndSkipsTheCache) {
+  // A faulted run must not read or write the shared result cache; it
+  // still produces finite metrics (graceful degradation end to end).
+  ASSERT_EQ(::setenv("DLPSIM_FAULTS", "seed=3,count=4,horizon=40000,stall=200",
+                     1), 0);
+  const auto artifact_dir =
+      std::filesystem::temp_directory_path() / "dlpsim_fault_artifacts";
+  ASSERT_EQ(::setenv("DLPSIM_TIMING_DIR", artifact_dir.string().c_str(), 1),
+            0);
+  const RunResult r = SimulateUncached("HS", "base", 0.01);
+  ::unsetenv("DLPSIM_FAULTS");
+  ::unsetenv("DLPSIM_TIMING_DIR");
+  // The applied fault plan is exported as an artifact.
+  EXPECT_TRUE(
+      std::filesystem::exists(artifact_dir / "HS_base_faults.json"));
+  std::filesystem::remove_all(artifact_dir);
+  EXPECT_GT(r.metrics.core_cycles, 0u);
+  EXPECT_EQ(r.metrics.completed, 1u);
 }
 
 }  // namespace

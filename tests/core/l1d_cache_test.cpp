@@ -231,10 +231,15 @@ TEST(L1DCache, DlpBypassesWhenSetFullyProtected) {
   DrainAndFill(cache, woken);
 
   // Manufacture full protection via the policy's own bookkeeping: force
-  // PLs through the tag array directly (unit-level shortcut).
-  auto& tda = const_cast<TagArray&>(cache.tda());
-  tda.At(0, 0).protected_life = 5;
-  tda.At(0, 1).protected_life = 5;
+  // PLs through the tag array directly (unit-level shortcut), keeping
+  // the incremental PL histogram in lockstep so Debug asserts and the
+  // robust/ invariant checker stay happy.
+  TagArray& tda = cache.mutable_tda();
+  for (std::uint32_t way : {0u, 1u}) {
+    CacheLine& line = tda.At(0, way);
+    cache.mutable_pl_counters().Move(line.protected_life, 5);
+    line.protected_life = 5;
+  }
 
   EXPECT_EQ(cache.Access(Load(4 * 128, 0x30, 7), 1), AccessResult::kBypassed);
   EXPECT_EQ(cache.stats().bypasses, 1u);

@@ -1,0 +1,113 @@
+// TryRunJobs tests: failing cells retry, then surface as structured
+// failures while every sibling runs to completion.
+#include "exec/run_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace dlpsim::exec {
+namespace {
+
+std::vector<Job> TestGrid() {
+  return Grid({"A", "B", "C"}, {"x", "y"});
+}
+
+TEST(TryRunJobs, AllCellsSucceed) {
+  const auto run = TryRunJobs(
+      TestGrid(), [](const Job& j) { return j.app + j.config; }, {}, 2);
+  EXPECT_TRUE(run.ok());
+  ASSERT_EQ(run.results.size(), 6u);
+  EXPECT_EQ(run.results[0], "Ax");
+  EXPECT_EQ(run.results[5], "Cy");
+}
+
+TEST(TryRunJobs, PersistentFailureIsRecordedAndSiblingsFinish) {
+  std::atomic<int> attempts_on_bad{0};
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.backoff_seconds = 0.001;
+  const auto run = TryRunJobs(
+      TestGrid(),
+      [&](const Job& j) -> int {
+        if (j.app == "B" && j.config == "y") {
+          ++attempts_on_bad;
+          throw std::runtime_error("cell exploded");
+        }
+        return 7;
+      },
+      retry, 3);
+
+  EXPECT_FALSE(run.ok());
+  ASSERT_EQ(run.failures.size(), 1u);
+  const JobFailure& f = run.failures[0];
+  EXPECT_EQ(f.job.app, "B");
+  EXPECT_EQ(f.job.config, "y");
+  EXPECT_EQ(f.index, 3u);  // app-major: B is row 1, y is column 1
+  EXPECT_EQ(f.attempts, 2);
+  EXPECT_FALSE(f.timed_out);
+  EXPECT_EQ(f.error, "cell exploded");
+  EXPECT_EQ(attempts_on_bad.load(), 2);
+
+  // Siblings all ran; the failed slot is value-initialized.
+  ASSERT_EQ(run.results.size(), 6u);
+  EXPECT_EQ(run.results[3], 0);
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(run.results[i], 7) << i;
+  }
+}
+
+TEST(TryRunJobs, TransientFailureSucceedsOnRetry) {
+  std::atomic<int> calls{0};
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_seconds = 0.001;
+  const auto run = TryRunJobs(
+      std::vector<Job>{{"A", "x"}},
+      [&](const Job&) -> int {
+        if (calls.fetch_add(1) == 0) throw std::runtime_error("flaky");
+        return 42;
+      },
+      retry, 1);
+  EXPECT_TRUE(run.ok());
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0], 42);
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(TryRunJobs, CooperativeTimeoutCountsAsTimedOutFailure) {
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  retry.timeout_seconds = 0.001;
+  const auto run = TryRunJobs(
+      std::vector<Job>{{"SLOW", "x"}},
+      [](const Job&) -> int {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return 1;
+      },
+      retry, 1);
+  EXPECT_FALSE(run.ok());
+  ASSERT_EQ(run.failures.size(), 1u);
+  EXPECT_TRUE(run.failures[0].timed_out);
+  EXPECT_NE(run.failures[0].error.find("timeout"), std::string::npos);
+  EXPECT_EQ(run.results[0], 0);  // over-budget result discarded
+}
+
+TEST(TryRunJobs, NonExceptionThrowIsCaptured) {
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  retry.backoff_seconds = 0.0;
+  const auto run = TryRunJobs(
+      std::vector<Job>{{"A", "x"}},
+      [](const Job&) -> int { throw 17; },  // not a std::exception
+      retry, 1);
+  ASSERT_EQ(run.failures.size(), 1u);
+  EXPECT_EQ(run.failures[0].error, "unknown exception");
+}
+
+}  // namespace
+}  // namespace dlpsim::exec

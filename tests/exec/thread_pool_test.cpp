@@ -140,5 +140,34 @@ TEST(DefaultJobs, HonorsEnvAndNeverZero) {
   if (saved != nullptr) ::setenv("DLPSIM_JOBS", restore.c_str(), 1);
 }
 
+
+TEST(ThreadPool, ThrowingTaskDoesNotAbortSiblings) {
+  std::atomic<int> completed{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&completed, i] {
+      if (i == 5) throw std::runtime_error("task 5 failed");
+      ++completed;
+    });
+  }
+  // Wait() rethrows the first captured exception after all tasks ran.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+
+  // The error is consumed: the next batch runs clean.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 8);
+}
+
 }  // namespace
 }  // namespace dlpsim::exec

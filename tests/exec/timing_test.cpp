@@ -14,7 +14,12 @@ TEST(TimingLog, RecordsCellsThreadSafely) {
   ParallelMap(
       50,
       [&log](std::size_t i) {
-        log.Record({"APP", "base", 0.5, i % 2 == 0});
+        TimingCell cell;
+        cell.app = "APP";
+        cell.config = "base";
+        cell.seconds = 0.5;
+        cell.cached = i % 2 == 0;
+        log.Record(std::move(cell));
         return 0;
       },
       8);
@@ -24,9 +29,21 @@ TEST(TimingLog, RecordsCellsThreadSafely) {
 
 TEST(TimingLog, JsonCarriesTotalsAndCells) {
   TimingLog log;
-  log.Record({"SRK", "base", 1.5, false});
-  log.Record({"SRK", "dlp", 2.5, false});
-  log.Record({"KM", "base", 0.0, true});
+  TimingCell a;
+  a.app = "SRK";
+  a.config = "base";
+  a.seconds = 1.5;
+  log.Record(std::move(a));
+  TimingCell b;
+  b.app = "SRK";
+  b.config = "dlp";
+  b.seconds = 2.5;
+  log.Record(std::move(b));
+  TimingCell c;
+  c.app = "KM";
+  c.config = "base";
+  c.cached = true;
+  log.Record(std::move(c));
 
   std::ostringstream os;
   log.WriteJson(os, "bench_x", 4, 0.5);

@@ -1,0 +1,179 @@
+// Invariant-checker tests: every check passes on a healthy cache, catches
+// a planted corruption, and never changes simulation results.
+#include "robust/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/l1d_cache.h"
+#include "gpu/simulator.h"
+#include "workloads/registry.h"
+
+namespace dlpsim::robust {
+namespace {
+
+L1DConfig SmallConfig(PolicyKind kind = PolicyKind::kDlp) {
+  L1DConfig cfg;
+  cfg.geom.sets = 4;
+  cfg.geom.ways = 2;
+  cfg.geom.index = IndexFunction::kLinear;
+  cfg.mshr_entries = 4;
+  cfg.mshr_max_merged = 2;
+  cfg.miss_queue_entries = 4;
+  cfg.policy = kind;
+  return cfg;
+}
+
+/// Fills a handful of lines so every structure has occupied state.
+void WarmUp(L1DCache& cache) {
+  std::vector<MshrToken> woken;
+  MshrToken token = 1;
+  for (Addr addr = 0; addr < 8 * 128; addr += 128) {
+    const Pc pc = static_cast<Pc>(addr / 128);
+    cache.Access(MemAccess{addr, AccessType::kLoad, pc, token++}, 0);
+    while (cache.HasOutgoing()) {
+      const L1DOutgoing out = cache.PopOutgoing();
+      if (out.write) continue;
+      woken.clear();
+      cache.Fill(L1DResponse{out.block, out.no_fill, out.token}, 0, woken);
+    }
+  }
+}
+
+TEST(Invariants, HealthyCachePassesEveryCheck) {
+  for (PolicyKind kind :
+       {PolicyKind::kBaseline, PolicyKind::kStallBypass,
+        PolicyKind::kGlobalProtection, PolicyKind::kDlp}) {
+    L1DCache cache(SmallConfig(kind));
+    WarmUp(cache);
+    SCOPED_TRACE(ToString(kind));
+    EXPECT_EQ(CheckL1D(cache), "");
+  }
+}
+
+TEST(Invariants, CatchesPlFieldOverflow) {
+  L1DCache cache(SmallConfig());
+  WarmUp(cache);
+  // Plant a PL value that cannot fit the 4-bit hardware field.
+  cache.mutable_tda().At(0, 0).protected_life = 99;
+  EXPECT_NE(CheckPlClamp(cache), "");
+  EXPECT_NE(CheckL1D(cache), "");
+}
+
+TEST(Invariants, CatchesPlCounterDrift) {
+  L1DCache cache(SmallConfig());
+  WarmUp(cache);
+  // In-range PL change without the matching PlCounters::Move: the
+  // incremental histogram no longer matches a brute-force walk.
+  CacheLine& line = cache.mutable_tda().At(1, 0);
+  ASSERT_TRUE(IsOccupied(line.state));
+  line.protected_life = (line.protected_life + 1) & 15u;
+  EXPECT_NE(CheckPlCounters(cache), "");
+}
+
+TEST(Invariants, CatchesReservedLineWithoutMshr) {
+  L1DCache cache(SmallConfig());
+  WarmUp(cache);
+  CacheLine& line = cache.mutable_tda().At(2, 0);
+  ASSERT_TRUE(IsFilled(line.state));
+  line.state = LineState::kReserved;  // no MSHR entry backs this
+  EXPECT_NE(CheckMshrConsistency(cache), "");
+}
+
+TEST(Invariants, CatchesDuplicateLruStamps) {
+  L1DCache cache(SmallConfig());
+  WarmUp(cache);
+  CacheLine& a = cache.mutable_tda().At(3, 0);
+  CacheLine& b = cache.mutable_tda().At(3, 1);
+  ASSERT_TRUE(IsOccupied(a.state));
+  ASSERT_TRUE(IsOccupied(b.state));
+  b.last_use = a.last_use;  // LRU can no longer order the set
+  EXPECT_NE(CheckLruValidity(cache), "");
+}
+
+TEST(Invariants, CheckerThrowsStructuredErrorOnCorruptedGpu) {
+  SimConfig cfg = SimConfig::WithPolicy(PolicyKind::kDlp);
+  cfg.num_cores = 2;
+  cfg.num_partitions = 2;
+  ProgramBuilder b(4);
+  b.Alu(4).LoadPrivate(2);
+  auto prog = b.Build();
+  GpuSimulator gpu(cfg, prog.get(), 2);
+
+  // Run a few steps so lines exist, then corrupt one core's L1D.
+  for (int i = 0; i < 20000 && !gpu.Done(); ++i) gpu.Step();
+  L1DCache& l1d = gpu.cores()[1].l1d();
+  bool planted = false;
+  for (std::uint32_t set = 0; set < l1d.config().geom.sets && !planted;
+       ++set) {
+    for (std::uint32_t way = 0; way < l1d.config().geom.ways; ++way) {
+      CacheLine& line = l1d.mutable_tda().At(set, way);
+      if (IsOccupied(line.state)) {
+        line.protected_life = 99;
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted) << "no occupied line to corrupt";
+
+  InvariantChecker checker(/*check_interval=*/1, /*throw_on_violation=*/true);
+  try {
+    checker.CheckAll(gpu, gpu.core_cycles());
+    FAIL() << "corruption not detected";
+  } catch (const InvariantError& e) {
+    EXPECT_EQ(e.sm(), 1u);
+    EXPECT_EQ(e.check(), "pl_clamp");
+    EXPECT_NE(std::string(e.what()).find("sm1"), std::string::npos);
+  }
+  EXPECT_EQ(checker.violations(), 1u);
+  EXPECT_FALSE(checker.last_violation().empty());
+}
+
+TEST(Invariants, NonThrowingCheckerRecordsViolations) {
+  L1DCache cache(SmallConfig());
+  WarmUp(cache);
+  cache.mutable_tda().At(0, 0).protected_life = 42;
+
+  // Free-function layer only (no GpuSimulator needed): the violation
+  // description names the failing check.
+  const std::string v = CheckL1D(cache);
+  EXPECT_NE(v.find("pl_clamp"), std::string::npos);
+}
+
+TEST(Invariants, CheckedRunMatchesUncheckedByteForByte) {
+  SimConfig cfg = SimConfig::WithPolicy(PolicyKind::kDlp);
+  cfg.num_cores = 2;
+  cfg.num_partitions = 2;
+  ProgramBuilder b(8);
+  b.Alu(8).LoadStream().LoadPrivate(2).StoreStream();
+  auto prog = b.Build();
+
+  GpuSimulator plain(cfg, prog.get(), 4);
+  const Metrics ref = plain.Run();
+
+  InvariantChecker checker(/*check_interval=*/512,
+                           /*throw_on_violation=*/true);
+  GpuSimulator checked(cfg, prog.get(), 4);
+  checked.SetInvariantChecker(&checker);
+  const Metrics m = checked.Run();
+
+  EXPECT_GT(checker.checks_run(), 0u);
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(m.ToText(), ref.ToText());
+}
+
+TEST(Invariants, EnvKnobControlsChecker) {
+  // DLPSIM_CHECK=1 enables, =0 disables, regardless of the build default.
+  ASSERT_EQ(::setenv("DLPSIM_CHECK", "1", 1), 0);
+  EXPECT_TRUE(ChecksEnabledByEnv());
+  EXPECT_NE(MakeCheckerFromEnv(), nullptr);
+  ASSERT_EQ(::setenv("DLPSIM_CHECK", "0", 1), 0);
+  EXPECT_FALSE(ChecksEnabledByEnv());
+  EXPECT_EQ(MakeCheckerFromEnv(), nullptr);
+  ::unsetenv("DLPSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace dlpsim::robust

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "gpu/simulator.h"
+#include "workloads/registry.h"
+
 namespace dlpsim {
 namespace {
 
@@ -83,6 +86,68 @@ TEST(PolicyKindNames, AllDistinct) {
   EXPECT_STREQ(ToString(PolicyKind::kStallBypass), "Stall-Bypass");
   EXPECT_STREQ(ToString(PolicyKind::kGlobalProtection), "Global-Protection");
   EXPECT_STREQ(ToString(PolicyKind::kDlp), "DLP");
+}
+
+
+TEST(ConfigValidation, PresetsAreValid) {
+  EXPECT_TRUE(SimConfig::Baseline16KB().Validate().empty());
+  EXPECT_TRUE(SimConfig::Cache32KB().Validate().empty());
+  EXPECT_TRUE(SimConfig::Cache64KB().Validate().empty());
+  for (PolicyKind p : {PolicyKind::kBaseline, PolicyKind::kStallBypass,
+                       PolicyKind::kGlobalProtection, PolicyKind::kDlp}) {
+    EXPECT_TRUE(SimConfig::WithPolicy(p).Validate().empty());
+  }
+}
+
+TEST(ConfigValidation, ReportsStructuredIssuesWithFieldNames) {
+  SimConfig cfg;
+  cfg.l1d.geom.sets = 0;          // not a nonzero power of two
+  cfg.l1d.mshr_entries = 0;
+  cfg.num_cores = 0;
+  const std::vector<ConfigIssue> issues = cfg.Validate();
+  ASSERT_GE(issues.size(), 3u);
+  bool saw_sets = false;
+  bool saw_mshr = false;
+  bool saw_cores = false;
+  for (const ConfigIssue& issue : issues) {
+    if (issue.field.find("sets") != std::string::npos) saw_sets = true;
+    if (issue.field.find("mshr_entries") != std::string::npos) saw_mshr = true;
+    if (issue.field == "num_cores") saw_cores = true;
+    EXPECT_FALSE(issue.message.empty()) << issue.field;
+  }
+  EXPECT_TRUE(saw_sets);
+  EXPECT_TRUE(saw_mshr);
+  EXPECT_TRUE(saw_cores);
+}
+
+TEST(ConfigValidation, ValidateOrThrowCarriesIssueList) {
+  SimConfig cfg;
+  cfg.l1d.geom.ways = 0;
+  try {
+    cfg.ValidateOrThrow();
+    FAIL() << "invalid config accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_FALSE(e.issues().empty());
+    EXPECT_NE(std::string(e.what()).find("ways"), std::string::npos);
+  }
+}
+
+TEST(ConfigValidation, WriteBackNeedsTwoMissQueueSlots) {
+  SimConfig cfg;
+  cfg.l1d.write_policy = WritePolicy::kWriteBackOnHit;
+  cfg.l1d.miss_queue_entries = 1;  // dirty-victim livelock guard
+  EXPECT_FALSE(cfg.Validate().empty());
+  cfg.l1d.miss_queue_entries = 2;
+  EXPECT_TRUE(cfg.Validate().empty());
+}
+
+TEST(ConfigValidation, GpuSimulatorRejectsBadConfigBeforeConstruction) {
+  SimConfig cfg;
+  cfg.l1d.geom.line_bytes = 100;  // not a power of two
+  ProgramBuilder b(1);
+  b.Alu(1);
+  auto prog = b.Build();
+  EXPECT_THROW(GpuSimulator(cfg, prog.get(), 1), ConfigError);
 }
 
 }  // namespace
