@@ -1,5 +1,6 @@
 #include "analysis/trace_replay.h"
 
+#include <limits>
 #include <sstream>
 
 namespace dlpsim {
@@ -20,8 +21,8 @@ LineKind ParseTraceLine(const std::string& line, TraceAccess* out,
   std::istringstream ls(line);
   std::string op;
   std::string addr_str;
-  std::uint64_t pc = 0;
-  if (!(ls >> op >> addr_str >> pc)) {
+  std::string pc_str;
+  if (!(ls >> op >> addr_str >> pc_str)) {
     *message = "expected 'L|S <address> <pc>', got '" + line + "'";
     return LineKind::kBad;
   }
@@ -35,8 +36,14 @@ LineKind ParseTraceLine(const std::string& line, TraceAccess* out,
     return LineKind::kBad;
   }
   out->type = op == "L" ? AccessType::kLoad : AccessType::kStore;
-  out->pc = static_cast<Pc>(pc);
+  // Parse through stoull with a leading-sign check: both istream>> on
+  // unsigned and stoull silently wrap negative inputs to huge values, so
+  // "-5" must be rejected explicitly rather than replayed as 2^64-5.
   try {
+    if (addr_str.empty() || addr_str[0] == '-' || addr_str[0] == '+') {
+      *message = "bad address '" + addr_str + "'";
+      return LineKind::kBad;
+    }
     std::size_t consumed = 0;
     out->addr = std::stoull(addr_str, &consumed, 0);  // 0x... or decimal
     if (consumed != addr_str.size()) {
@@ -45,6 +52,23 @@ LineKind ParseTraceLine(const std::string& line, TraceAccess* out,
     }
   } catch (const std::exception&) {
     *message = "bad address '" + addr_str + "'";
+    return LineKind::kBad;
+  }
+  try {
+    if (pc_str.empty() || pc_str[0] == '-' || pc_str[0] == '+') {
+      *message = "bad pc '" + pc_str + "'";
+      return LineKind::kBad;
+    }
+    std::size_t consumed = 0;
+    const std::uint64_t pc = std::stoull(pc_str, &consumed, 0);
+    if (consumed != pc_str.size() ||
+        pc > std::numeric_limits<Pc>::max()) {
+      *message = "bad pc '" + pc_str + "'";
+      return LineKind::kBad;
+    }
+    out->pc = static_cast<Pc>(pc);
+  } catch (const std::exception&) {
+    *message = "bad pc '" + pc_str + "'";
     return LineKind::kBad;
   }
   return LineKind::kAccess;

@@ -1,5 +1,6 @@
 #include "core/vta.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dlpsim {
@@ -58,6 +59,23 @@ void VictimTagArray::Insert(std::uint32_t set, Addr block,
 
 void VictimTagArray::Clear() {
   for (Entry& e : entries_) e = Entry{};
+}
+
+std::vector<VictimTagArray::EntryView> VictimTagArray::SetEntries(
+    std::uint32_t set) const {
+  std::vector<const Entry*> occupied;
+  const Entry* base = SetBase(set);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid) occupied.push_back(&base[w]);
+  }
+  std::sort(occupied.begin(), occupied.end(),
+            [](const Entry* a, const Entry* b) {
+              return a->last_use < b->last_use;
+            });
+  std::vector<EntryView> out;
+  out.reserve(occupied.size());
+  for (const Entry* e : occupied) out.push_back({e->block, e->insn_id});
+  return out;
 }
 
 std::uint32_t VictimTagArray::Occupancy(std::uint32_t set) const {

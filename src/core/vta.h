@@ -43,6 +43,15 @@ class VictimTagArray {
   /// Occupied entries in `set` (tests).
   std::uint32_t Occupancy(std::uint32_t set) const;
 
+  /// Occupied entries of `set` in LRU-to-MRU order. Used by the verify/
+  /// differential driver to diff VTA contents against the oracle without
+  /// exposing way positions (which are not architecturally meaningful).
+  struct EntryView {
+    Addr block = 0;
+    std::uint32_t insn_id = 0;
+  };
+  std::vector<EntryView> SetEntries(std::uint32_t set) const;
+
  private:
   struct Entry {
     Addr block = 0;

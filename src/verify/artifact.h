@@ -1,0 +1,46 @@
+// Replayable failure artifacts for the differential fuzzer.
+//
+// An artifact is a plain trace file in the analysis/trace_replay text
+// format, with the full reproduction context (policy, cache geometry,
+// drive timing, fuzzer seed, divergence message) carried in `#@ key
+// value` comment lines. Because `#` starts a comment, every artifact is
+// also directly consumable by ParseTrace/ParseTraceStrict and any other
+// trace tool; verify_fuzz --replay reads the metadata back and re-runs
+// the exact differential configuration that failed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_replay.h"
+#include "sim/config.h"
+#include "verify/differential.h"
+
+namespace dlpsim::verify {
+
+/// Everything needed to reproduce one differential failure.
+struct Artifact {
+  L1DConfig config;
+  DriveParams params;
+  std::uint64_t seed = 0;      // fuzzer seed that generated the case
+  std::string divergence;      // first-divergence message at capture time
+  std::vector<TraceAccess> trace;
+};
+
+/// Serializes `a` as a commented trace file.
+void WriteArtifact(std::ostream& out, const Artifact& a);
+
+/// Writes to `path`; returns false (with *error filled) on I/O failure.
+bool WriteArtifactFile(const std::string& path, const Artifact& a,
+                       std::string* error = nullptr);
+
+/// Parses an artifact (or any plain trace: missing metadata keys keep
+/// their defaults). Returns false with *error on malformed input; the
+/// recovered config is validated so a hand-edited artifact cannot crash
+/// the replayer.
+bool ReadArtifact(std::istream& in, Artifact* out, std::string* error);
+bool ReadArtifactFile(const std::string& path, Artifact* out,
+                      std::string* error);
+
+}  // namespace dlpsim::verify

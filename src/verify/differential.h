@@ -1,0 +1,74 @@
+// Lockstep differential driver: runs the production L1DCache and the
+// verify/ oracle on the same access trace under the same memory-system
+// timing (fixed fill latency, bounded outgoing drain rate), comparing
+// every observable after every access:
+//
+//   - the AccessResult of each transaction
+//   - the full CacheStats counter block
+//   - the outgoing request stream (block / write / no_fill / token)
+//   - the tokens woken by each fill, in retire order
+//   - periodically (and at end-of-trace): per-set tag state in recency
+//     order, the PDPT's protection distances and the VTA contents
+//
+// The drain rate and fill latency are part of the test case: a drain
+// rate of 1 with a small miss queue exercises the resource-stall bypass
+// paths, a long fill latency keeps lines RESERVED long enough to hit the
+// MSHR merge limits.
+//
+// When DLPSIM_CHECK is enabled (or the build is -DDLPSIM_CHECKED), every
+// state comparison also runs the robust/ invariant checker against the
+// real cache, so fuzz runs execute fully checked.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_replay.h"
+#include "core/l1d_cache.h"
+#include "sim/config.h"
+#include "verify/oracle.h"
+
+namespace dlpsim::verify {
+
+/// First observable mismatch between the real cache and the oracle.
+struct Divergence {
+  std::size_t access_index = 0;  // trace index being processed (or last)
+  std::string what;              // human-readable description
+
+  std::string ToString() const {
+    return "access #" + std::to_string(access_index) + ": " + what;
+  }
+};
+
+/// Memory-system timing for a differential run (mirrors TraceReplayer's
+/// model, with a bounded drain rate to create miss-queue pressure).
+struct DriveParams {
+  std::uint32_t fill_latency = 20;  // cycles from request to fill
+  std::uint32_t drain_rate = 1;     // outgoing requests popped per cycle
+  std::uint32_t state_check_interval = 16;  // accesses between deep diffs
+  bool check_invariants = true;  // run robust/CheckL1D when env-enabled
+};
+
+/// Field-by-field CacheStats diff; empty string when equal.
+std::string DiffStats(const CacheStats& real, const CacheStats& oracle);
+
+/// Runs `trace` through a fresh real L1DCache(cfg) and OracleL1D(cfg) in
+/// lockstep. Returns the first divergence, or nullopt for a clean run.
+/// `bug` plants a deliberate defect in the oracle (tests only).
+std::optional<Divergence> RunDifferential(
+    const L1DConfig& cfg, const std::vector<TraceAccess>& trace,
+    const DriveParams& params = {}, OracleBug bug = OracleBug::kNone);
+
+/// Runs `trace` through two real caches (cfgA, cfgB) in lockstep and
+/// compares results and stats. Used by the metamorphic checks (e.g.
+/// Baseline == DLP with protection neutralized). Both configurations
+/// must induce the same stall/retry behaviour or the comparison itself
+/// reports the first differing access.
+std::optional<Divergence> RunTwinReal(const L1DConfig& cfg_a,
+                                      const L1DConfig& cfg_b,
+                                      const std::vector<TraceAccess>& trace,
+                                      const DriveParams& params = {});
+
+}  // namespace dlpsim::verify

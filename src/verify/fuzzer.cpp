@@ -1,0 +1,321 @@
+#include "verify/fuzzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace dlpsim::verify {
+
+namespace {
+
+/// Appends one access phase to `trace`. Phases are short so a single
+/// case crosses several access-pattern regimes (and several sampling
+/// windows under small sample_accesses).
+void AppendPhase(Rng& rng, const L1DConfig& cfg,
+                 const std::vector<Pc>& pc_pool, std::size_t phase_len,
+                 std::vector<TraceAccess>* trace) {
+  const std::uint32_t line = cfg.geom.line_bytes;
+  // Footprint of 1x-8x the cache keeps both cache-resident and thrashing
+  // phases reachable.
+  const std::uint64_t footprint_blocks =
+      std::uint64_t{cfg.geom.num_lines()} * (1 + rng.Below(8));
+  const std::uint64_t base_block = rng.Below(1u << 16);
+  const double store_ratio = rng.Below(2) == 0 ? 0.0 : rng.NextDouble() * 0.4;
+  const int kind = static_cast<int>(rng.Below(4));
+
+  std::uint64_t seq_block = rng.Below(footprint_blocks);
+  const std::uint64_t seq_stride = 1 + rng.Below(2);
+  const std::uint64_t loop_len =
+      2 + rng.Below(std::max<std::uint64_t>(2, 2 * cfg.geom.ways));
+  const std::uint64_t loop_start = rng.Below(footprint_blocks);
+  ZipfSampler zipf(footprint_blocks, 0.6 + rng.NextDouble() * 0.6);
+
+  for (std::size_t i = 0; i < phase_len; ++i) {
+    std::uint64_t block = 0;
+    switch (kind) {
+      case 0:  // sequential stream
+        block = seq_block % footprint_blocks;
+        seq_block += seq_stride;
+        break;
+      case 1:  // zipf-skewed hot set
+        block = zipf.Sample(rng.NextDouble());
+        break;
+      case 2:  // tight re-reference loop
+        block = (loop_start + i % loop_len) % footprint_blocks;
+        break;
+      default:  // uniform random
+        block = rng.Below(footprint_blocks);
+        break;
+    }
+    TraceAccess a;
+    a.addr = (base_block + block) * line + rng.Below(line);
+    a.pc = pc_pool[rng.Below(pc_pool.size())];
+    a.type = rng.NextDouble() < store_ratio ? AccessType::kStore
+                                            : AccessType::kLoad;
+    trace->push_back(a);
+  }
+}
+
+}  // namespace
+
+FuzzCase MakeFuzzCase(std::uint64_t seed, PolicyKind policy) {
+  Rng rng(HashMix(seed, static_cast<std::uint64_t>(policy) + 1));
+  FuzzCase c;
+  c.seed = seed;
+
+  L1DConfig& cfg = c.config;
+  cfg.policy = policy;
+  cfg.geom.sets = 1u << (2 + rng.Below(4));       // 4..32
+  cfg.geom.ways = 1 + static_cast<std::uint32_t>(rng.Below(4));
+  cfg.geom.line_bytes = 32u << rng.Below(3);      // 32/64/128
+  cfg.geom.index =
+      rng.Below(2) == 0 ? IndexFunction::kHash : IndexFunction::kLinear;
+  cfg.write_policy = rng.Below(2) == 0 ? WritePolicy::kWriteBackOnHit
+                                       : WritePolicy::kWriteEvict;
+  cfg.mshr_entries = 1 + static_cast<std::uint32_t>(rng.Below(8));
+  cfg.mshr_max_merged = 1 + static_cast<std::uint32_t>(rng.Below(4));
+  cfg.miss_queue_entries = 2 + static_cast<std::uint32_t>(rng.Below(7));
+  // Small sampling windows so a 2k-access case runs many Fig. 9 updates;
+  // the cycle cap occasionally ends the window first (stall-heavy cases).
+  cfg.prot.sample_accesses = 16 + static_cast<std::uint32_t>(rng.Below(385));
+  cfg.prot.sample_max_cycles = 200 + rng.Below(4801);
+  cfg.prot.pd_bits = 1 + static_cast<std::uint32_t>(rng.Below(4));
+  cfg.prot.vta_ways =
+      rng.Below(2) == 0 ? 0 : 1 + static_cast<std::uint32_t>(rng.Below(4));
+  const std::uint32_t id_bits = 1 + static_cast<std::uint32_t>(rng.Below(7));
+  cfg.prot.insn_id_bits = id_bits;
+  cfg.prot.pdpt_entries = (1u << id_bits) << rng.Below(2);
+
+  c.params.fill_latency = 1 + static_cast<std::uint32_t>(rng.Below(64));
+  c.params.drain_rate = 1 + static_cast<std::uint32_t>(rng.Below(4));
+  c.params.state_check_interval = 16;
+
+  std::vector<Pc> pc_pool(1 + rng.Below(12));
+  for (Pc& pc : pc_pool) pc = static_cast<Pc>(rng.Below(1u << 20));
+
+  const std::size_t target = 256 + rng.Below(1793);  // 256..2048
+  while (c.trace.size() < target) {
+    const std::size_t phase_len =
+        std::min<std::size_t>(16 + rng.Below(113), target - c.trace.size());
+    AppendPhase(rng, cfg, pc_pool, phase_len, &c.trace);
+  }
+  return c;
+}
+
+std::optional<Divergence> RunFuzzCase(const FuzzCase& c, OracleBug bug) {
+  return RunDifferential(c.config, c.trace, c.params, bug);
+}
+
+std::vector<TraceAccess> ShrinkTrace(const FuzzCase& c, OracleBug bug,
+                                     std::size_t* steps_out) {
+  std::size_t steps = 0;
+  const auto fails = [&](const std::vector<TraceAccess>& t) {
+    ++steps;
+    FuzzCase probe = c;
+    probe.trace = t;
+    return RunFuzzCase(probe, bug).has_value();
+  };
+
+  std::vector<TraceAccess> current = c.trace;
+  if (current.empty() || !fails(current)) {
+    if (steps_out != nullptr) *steps_out = steps;
+    return current;
+  }
+
+  // ddmin: try dropping ever-finer chunks (complements) while the
+  // remainder still diverges.
+  std::size_t n = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t i = 0; i < n && !reduced; ++i) {
+      std::vector<TraceAccess> complement;
+      complement.reserve(current.size());
+      for (std::size_t j = 0; j < current.size(); ++j) {
+        if (j / chunk != i) complement.push_back(current[j]);
+      }
+      if (complement.size() < current.size() && fails(complement)) {
+        current = std::move(complement);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (n >= current.size()) break;
+      n = std::min(current.size(), n * 2);
+    }
+  }
+
+  // Greedy polish: ddmin can leave single removable accesses behind.
+  bool improved = true;
+  while (improved && current.size() > 1) {
+    improved = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      std::vector<TraceAccess> candidate = current;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  if (steps_out != nullptr) *steps_out = steps;
+  return current;
+}
+
+FuzzOutcome FuzzOneSeed(std::uint64_t seed, PolicyKind policy, OracleBug bug,
+                        bool shrink) {
+  FuzzOutcome out;
+  out.seed = seed;
+  out.policy = policy;
+  FuzzCase c = MakeFuzzCase(seed, policy);
+  std::optional<Divergence> d = RunFuzzCase(c, bug);
+  if (!d.has_value()) return out;
+  out.diverged = true;
+  out.first = *d;
+
+  out.reproducer.config = c.config;
+  out.reproducer.params = c.params;
+  out.reproducer.seed = seed;
+  if (shrink) {
+    out.reproducer.trace = ShrinkTrace(c, bug, &out.shrink_steps);
+    FuzzCase shrunk = c;
+    shrunk.trace = out.reproducer.trace;
+    const std::optional<Divergence> after = RunFuzzCase(shrunk, bug);
+    out.reproducer.divergence =
+        after.has_value() ? after->ToString() : out.first.ToString();
+  } else {
+    out.reproducer.trace = c.trace;
+    out.reproducer.divergence = out.first.ToString();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-parser fuzzing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string RandomToken(Rng& rng) {
+  switch (rng.Below(10)) {
+    case 0: return "L";
+    case 1: return "S";
+    case 2: return "0x" + std::to_string(rng.Below(1u << 30));
+    case 3: return std::to_string(rng.Below(1u << 30));
+    case 4: return "-" + std::to_string(rng.Below(1u << 30));
+    case 5: return "0xfffffffffffffffffffffffff";  // overflows uint64
+    case 6: {
+      // Overlong token (several KB) probing for length assumptions.
+      std::string t(1024 + rng.Below(4096), 'a');
+      return t;
+    }
+    case 7: {
+      std::string t;
+      const std::size_t len = 1 + rng.Below(12);
+      for (std::size_t i = 0; i < len; ++i) {
+        t.push_back(static_cast<char>(rng.Below(256)));  // incl. NUL, \xff
+      }
+      return t;
+    }
+    case 8: return "#";
+    default: return "0x1f" + std::string(1, static_cast<char>('g' + rng.Below(4)));
+  }
+}
+
+std::string RandomTraceText(Rng& rng, std::size_t* line_count) {
+  std::ostringstream out;
+  const std::size_t lines = rng.Below(24);
+  *line_count = lines;
+  for (std::size_t i = 0; i < lines; ++i) {
+    switch (rng.Below(6)) {
+      case 0:  // well-formed line
+        out << (rng.Below(2) == 0 ? "L 0x" : "S 0x") << std::hex
+            << rng.Below(1u << 24) << std::dec << " " << rng.Below(1u << 16);
+        break;
+      case 1:  // comment / blank
+        out << (rng.Below(2) == 0 ? "# comment" : "   ");
+        break;
+      default: {  // mutated: 0-5 random tokens
+        const std::size_t tokens = rng.Below(6);
+        for (std::size_t t = 0; t < tokens; ++t) {
+          if (t > 0) out << (rng.Below(8) == 0 ? "\t" : " ");
+          out << RandomToken(rng);
+        }
+        break;
+      }
+    }
+    out << (rng.Below(12) == 0 ? "\r\n" : "\n");
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string FuzzTraceParsers(std::uint64_t seed, std::size_t iterations) {
+  Rng rng(HashMix(seed, 0x7a53ull));
+  for (std::size_t it = 0; it < iterations; ++it) {
+    std::size_t line_count = 0;
+    const std::string input = RandomTraceText(rng, &line_count);
+    const auto describe = [&](const std::string& what) {
+      return "iteration " + std::to_string(it) + ": " + what;
+    };
+
+    std::vector<TraceAccess> lenient;
+    std::string lenient_errors;
+    try {
+      std::istringstream in(input);
+      lenient = ParseTrace(in, &lenient_errors);
+    } catch (const std::exception& e) {
+      return describe(std::string("lenient parser threw: ") + e.what());
+    } catch (...) {
+      return describe("lenient parser threw a non-std exception");
+    }
+
+    std::vector<TraceAccess> strict;
+    TraceParseError error;
+    bool ok = false;
+    try {
+      std::istringstream in(input);
+      ok = ParseTraceStrict(in, &strict, &error);
+    } catch (const std::exception& e) {
+      return describe(std::string("strict parser threw: ") + e.what());
+    } catch (...) {
+      return describe("strict parser threw a non-std exception");
+    }
+
+    if (!ok) {
+      if (error.message.empty()) {
+        return describe("strict parser failed without an error message");
+      }
+      if (error.line > line_count) {
+        return describe("strict parser reported line " +
+                        std::to_string(error.line) + " of a " +
+                        std::to_string(line_count) + "-line input");
+      }
+      continue;
+    }
+    // Strict acceptance must agree with the lenient parse exactly.
+    if (!lenient_errors.empty()) {
+      return describe("strict parser accepted input the lenient parser "
+                      "reported errors on: " + lenient_errors);
+    }
+    if (lenient.size() != strict.size()) {
+      return describe("parsers disagree on access count (" +
+                      std::to_string(lenient.size()) + " vs " +
+                      std::to_string(strict.size()) + ")");
+    }
+    for (std::size_t i = 0; i < strict.size(); ++i) {
+      if (lenient[i].addr != strict[i].addr ||
+          lenient[i].pc != strict[i].pc ||
+          lenient[i].type != strict[i].type) {
+        return describe("parsers disagree on access " + std::to_string(i));
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace dlpsim::verify

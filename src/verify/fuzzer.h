@@ -1,0 +1,76 @@
+// Property-based trace fuzzing with automatic shrinking.
+//
+// A fuzz case is (L1DConfig, DriveParams, trace), all derived
+// deterministically from a 64-bit seed: the same seed always produces
+// the same case on every machine and job count. Each case runs the real
+// L1DCache against the verify/ oracle in lockstep (differential.h); a
+// divergence is shrunk with delta debugging (ddmin over the access list)
+// to a minimal reproducer and reported as a replayable Artifact.
+//
+// Traces mix access phases chosen per-case (sequential streams, small
+// zipf-skewed working sets, re-reference loops, random stores) so the
+// generated workloads hit both the protection sweet spot (hot lines worth
+// protecting) and the thrashing regime (bypass/stall pressure).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_replay.h"
+#include "sim/config.h"
+#include "verify/artifact.h"
+#include "verify/differential.h"
+#include "verify/oracle.h"
+
+namespace dlpsim::verify {
+
+/// One generated differential test case.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  L1DConfig config;
+  DriveParams params;
+  std::vector<TraceAccess> trace;
+};
+
+/// Deterministically expands `seed` into a full case for `policy`. The
+/// produced config always passes L1DConfig::Validate().
+FuzzCase MakeFuzzCase(std::uint64_t seed, PolicyKind policy);
+
+/// Runs one case; nullopt on agreement.
+std::optional<Divergence> RunFuzzCase(const FuzzCase& c,
+                                      OracleBug bug = OracleBug::kNone);
+
+/// Delta-debugging shrink: returns the smallest subsequence of c.trace
+/// (ddmin to 1-access granularity, then greedy single-access removal)
+/// that still produces *some* divergence under the same config/params.
+/// `steps_out` (optional) reports how many differential runs were spent.
+std::vector<TraceAccess> ShrinkTrace(const FuzzCase& c, OracleBug bug,
+                                     std::size_t* steps_out = nullptr);
+
+/// Result of one seed: clean, or a shrunk reproducer ready to save.
+struct FuzzOutcome {
+  std::uint64_t seed = 0;
+  PolicyKind policy = PolicyKind::kBaseline;
+  bool diverged = false;
+  Divergence first;        // divergence of the full trace (when diverged)
+  Artifact reproducer;     // shrunk artifact (when diverged)
+  std::size_t shrink_steps = 0;
+};
+
+/// Full pipeline for one seed: generate, run, and on failure shrink and
+/// package the reproducer (with the post-shrink divergence message).
+FuzzOutcome FuzzOneSeed(std::uint64_t seed, PolicyKind policy,
+                        OracleBug bug = OracleBug::kNone, bool shrink = true);
+
+/// Feeds `iterations` seeded malformed/truncated/overlong inputs to both
+/// trace parsers and checks the contract: no crash, lenient mode never
+/// fails, strict mode either accepts or reports a typed error whose line
+/// number is in range. Returns a description of the first violation, or
+/// "" when the parsers hold up. Inputs mix valid lines, random bytes,
+/// over-long tokens, embedded NULs, bad ops, huge/negative numbers and
+/// missing fields.
+std::string FuzzTraceParsers(std::uint64_t seed, std::size_t iterations);
+
+}  // namespace dlpsim::verify

@@ -1,0 +1,187 @@
+#include "verify/golden.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace dlpsim::verify {
+
+namespace {
+
+struct GoldenField {
+  const char* name;
+  std::uint64_t GoldenEntry::* member;
+};
+
+constexpr GoldenField kGoldenFields[] = {
+    {"core_cycles", &GoldenEntry::core_cycles},
+    {"committed_thread_insns", &GoldenEntry::committed_thread_insns},
+    {"l1d_accesses", &GoldenEntry::l1d_accesses},
+    {"l1d_loads", &GoldenEntry::l1d_loads},
+    {"l1d_load_hits", &GoldenEntry::l1d_load_hits},
+    {"l1d_load_misses", &GoldenEntry::l1d_load_misses},
+    {"l1d_bypasses", &GoldenEntry::l1d_bypasses},
+    {"l1d_misses_issued", &GoldenEntry::l1d_misses_issued},
+};
+
+}  // namespace
+
+GoldenEntry MakeGoldenEntry(const std::string& app, const std::string& config,
+                            const Metrics& m) {
+  GoldenEntry e;
+  e.app = app;
+  e.config = config;
+  e.core_cycles = m.core_cycles;
+  e.committed_thread_insns = m.committed_thread_insns;
+  e.l1d_accesses = m.l1d_accesses;
+  e.l1d_loads = m.l1d_loads;
+  e.l1d_load_hits = m.l1d_load_hits;
+  e.l1d_load_misses = m.l1d_load_misses;
+  e.l1d_bypasses = m.l1d_bypasses;
+  e.l1d_misses_issued = m.l1d_misses_issued;
+  return e;
+}
+
+bool SaveGoldenFile(const std::string& path, const GoldenSnapshot& snap,
+                    std::string* error) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("scale", snap.scale);
+  w.Key("entries").BeginArray();
+  for (const GoldenEntry& e : snap.entries) {
+    w.BeginObject();
+    w.KV("app", e.app);
+    w.KV("config", e.config);
+    for (const GoldenField& f : kGoldenFields) w.KV(f.name, e.*(f.member));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << os.str();
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write error on '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool LoadGoldenFile(const std::string& path, GoldenSnapshot* out,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  bool ok = false;
+  const JsonValue doc = ParseJson(buffer.str(), &ok);
+  if (!ok || !doc.is_object()) {
+    if (error != nullptr) *error = "'" + path + "' is not valid JSON";
+    return false;
+  }
+  *out = GoldenSnapshot{};
+  if (const JsonValue* scale = doc.Find("scale"); scale != nullptr) {
+    out->scale = scale->number;
+  }
+  const JsonValue* entries = doc.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    if (error != nullptr) *error = "'" + path + "' has no 'entries' array";
+    return false;
+  }
+  for (const JsonValue& cell : entries->array) {
+    if (!cell.is_object()) {
+      if (error != nullptr) *error = "'" + path + "' has a non-object entry";
+      return false;
+    }
+    GoldenEntry e;
+    const JsonValue* app = cell.Find("app");
+    const JsonValue* config = cell.Find("config");
+    if (app == nullptr || config == nullptr) {
+      if (error != nullptr) {
+        *error = "'" + path + "' entry missing app/config";
+      }
+      return false;
+    }
+    e.app = app->string;
+    e.config = config->string;
+    for (const GoldenField& f : kGoldenFields) {
+      const JsonValue* v = cell.Find(f.name);
+      if (v == nullptr) {
+        if (error != nullptr) {
+          *error = "'" + path + "' entry " + e.app + "/" + e.config +
+                   " missing counter '" + f.name + "'";
+        }
+        return false;
+      }
+      e.*(f.member) = v->number_u64;
+    }
+    out->entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+std::string DiffGolden(const GoldenSnapshot& want, const GoldenSnapshot& got,
+                       double rel_tol) {
+  std::ostringstream report;
+  const auto find_got = [&](const GoldenEntry& w) -> const GoldenEntry* {
+    for (const GoldenEntry& g : got.entries) {
+      if (g.app == w.app && g.config == w.config) return &g;
+    }
+    return nullptr;
+  };
+
+  for (const GoldenEntry& w : want.entries) {
+    const GoldenEntry* g = find_got(w);
+    if (g == nullptr) {
+      report << w.app << "/" << w.config << ": missing from this run\n";
+      continue;
+    }
+    bool header_written = false;
+    for (const GoldenField& f : kGoldenFields) {
+      const std::uint64_t a = w.*(f.member);
+      const std::uint64_t b = g->*(f.member);
+      const double diff =
+          a >= b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+      const double bound = rel_tol * std::max(1.0, static_cast<double>(a));
+      if (diff <= bound) continue;
+      if (!header_written) {
+        header_written = true;
+        report << w.app << "/" << w.config << " (golden ipc="
+               << w.ipc() << " hit_rate=" << w.l1d_hit_rate()
+               << ", run ipc=" << g->ipc()
+               << " hit_rate=" << g->l1d_hit_rate() << "):\n";
+      }
+      report << "  " << f.name << ": golden " << a << ", run " << b << "\n";
+    }
+  }
+  for (const GoldenEntry& g : got.entries) {
+    bool known = false;
+    for (const GoldenEntry& w : want.entries) {
+      if (w.app == g.app && w.config == g.config) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      report << g.app << "/" << g.config
+             << ": not in the golden snapshot (run DLPSIM_GOLDEN_UPDATE=1 "
+                "to re-record)\n";
+    }
+  }
+  return report.str();
+}
+
+}  // namespace dlpsim::verify

@@ -1,0 +1,73 @@
+// Golden-figure regression snapshots.
+//
+// A snapshot records, for every (app, config) cell of a figure grid, the
+// integer counters that determine the published metrics (IPC, L1D hit
+// rate, bypass counts). Counters are stored as exact JSON integers --
+// never as derived floating-point values -- so snapshots round-trip
+// bit-exactly and a regression diff can show both the raw counter drift
+// and its effect on the derived metric.
+//
+// Snapshots live under tests/golden/ and are compared by
+// tests/bench/golden_figures_test.cpp with an explicit relative
+// tolerance; DLPSIM_GOLDEN_UPDATE=1 rewrites them from the current code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/metrics.h"
+
+namespace dlpsim::verify {
+
+/// One (app, config) cell's regression-relevant counters.
+struct GoldenEntry {
+  std::string app;
+  std::string config;
+  std::uint64_t core_cycles = 0;
+  std::uint64_t committed_thread_insns = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_loads = 0;
+  std::uint64_t l1d_load_hits = 0;
+  std::uint64_t l1d_load_misses = 0;
+  std::uint64_t l1d_bypasses = 0;
+  std::uint64_t l1d_misses_issued = 0;
+
+  double ipc() const {
+    return core_cycles == 0 ? 0.0
+                            : static_cast<double>(committed_thread_insns) /
+                                  static_cast<double>(core_cycles);
+  }
+  double l1d_hit_rate() const {
+    const std::uint64_t serviced =
+        l1d_bypasses >= l1d_loads ? 0 : l1d_loads - l1d_bypasses;
+    return serviced == 0 ? 0.0
+                         : static_cast<double>(l1d_load_hits) /
+                               static_cast<double>(serviced);
+  }
+};
+
+struct GoldenSnapshot {
+  double scale = 0.0;  // DLPSIM_SCALE the snapshot was captured at
+  std::vector<GoldenEntry> entries;
+};
+
+/// Extracts the golden counters from a run's metrics.
+GoldenEntry MakeGoldenEntry(const std::string& app, const std::string& config,
+                            const Metrics& m);
+
+/// JSON (de)serialization. Load returns false with *error on missing
+/// files, malformed JSON or missing fields.
+bool LoadGoldenFile(const std::string& path, GoldenSnapshot* out,
+                    std::string* error);
+bool SaveGoldenFile(const std::string& path, const GoldenSnapshot& snap,
+                    std::string* error);
+
+/// Compares `got` against the recorded `want` cell by cell. A counter
+/// matches when |got - want| <= rel_tol * max(1, want). Returns a
+/// readable multi-line report of every mismatched cell (including the
+/// derived IPC / hit-rate shift), or "" when everything matches.
+std::string DiffGolden(const GoldenSnapshot& want, const GoldenSnapshot& got,
+                       double rel_tol);
+
+}  // namespace dlpsim::verify

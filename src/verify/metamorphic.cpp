@@ -1,0 +1,112 @@
+#include "verify/metamorphic.h"
+
+#include <limits>
+
+#include "exec/run_grid.h"
+
+namespace dlpsim::verify {
+
+namespace {
+
+std::string Mismatch(const char* relation, std::uint64_t lhs,
+                     std::uint64_t rhs) {
+  return std::string(relation) + " (" + std::to_string(lhs) +
+         " vs " + std::to_string(rhs) + ")";
+}
+
+}  // namespace
+
+std::string CheckStatsConservation(const CacheStats& s) {
+  if (s.accesses != s.loads + s.stores) {
+    return Mismatch("accesses != loads + stores", s.accesses,
+                    s.loads + s.stores);
+  }
+  if (s.loads != s.load_hits + s.load_misses) {
+    return Mismatch("loads != load_hits + load_misses", s.loads,
+                    s.load_hits + s.load_misses);
+  }
+  if (s.load_misses != s.misses_issued + s.mshr_merges + s.bypasses) {
+    return Mismatch("load_misses != issued + merged + bypassed",
+                    s.load_misses,
+                    s.misses_issued + s.mshr_merges + s.bypasses);
+  }
+  // Every issued miss reserves a line whose fill must have arrived once
+  // the cache is drained; bypassed (no_fill) responses don't fill.
+  if (s.fills != s.misses_issued) {
+    return Mismatch("fills != misses_issued (drained cache)", s.fills,
+                    s.misses_issued);
+  }
+  if (s.store_hits > s.stores) {
+    return Mismatch("store_hits > stores", s.store_hits, s.stores);
+  }
+  if (s.store_invalidates > s.store_hits) {
+    return Mismatch("store_invalidates > store_hits", s.store_invalidates,
+                    s.store_hits);
+  }
+  if (s.writebacks > s.evictions) {
+    return Mismatch("writebacks > evictions", s.writebacks, s.evictions);
+  }
+  return "";
+}
+
+L1DConfig NeutralizedDlpTwin(const L1DConfig& base) {
+  L1DConfig twin = base;
+  twin.policy = PolicyKind::kDlp;
+  // A window that can never close: no EndSample, so no Fig. 9 update ever
+  // runs and every PD stays at its initial 0. Stamping then writes PL = 0
+  // and the PL-filtered victim scan degenerates to plain LRU.
+  twin.prot.sample_accesses = std::numeric_limits<std::uint32_t>::max();
+  twin.prot.sample_max_cycles = std::numeric_limits<std::uint64_t>::max();
+  return twin;
+}
+
+std::string CheckProtectionNeutrality(std::uint64_t seed) {
+  FuzzCase c = MakeFuzzCase(seed, PolicyKind::kBaseline);
+
+  // Raise resources on BOTH sides so no access ever sees MSHR or
+  // miss-queue exhaustion: that is the one path where a PD of 0 still
+  // changes behaviour (DLP bypasses on resource stalls, Baseline stalls).
+  L1DConfig base = c.config;
+  base.mshr_entries = 64;
+  base.mshr_max_merged = 4096;
+  base.miss_queue_entries = 64;
+
+  L1DConfig twin = NeutralizedDlpTwin(base);
+
+  DriveParams params = c.params;
+  params.drain_rate = 4;  // keep the outgoing queue from ever filling
+
+  const std::optional<Divergence> d =
+      RunTwinReal(base, twin, c.trace, params);
+  if (!d.has_value()) return "";
+  return "seed " + std::to_string(seed) +
+         ": Baseline vs neutralized DLP diverged at " + d->ToString();
+}
+
+std::string CheckFuzzDeterminism(const std::vector<std::uint64_t>& seeds,
+                                 PolicyKind policy, std::size_t jobs) {
+  const auto run = [&](std::size_t workers) {
+    return exec::ParallelMap(
+        seeds.size(),
+        [&](std::size_t i) { return FuzzOneSeed(seeds[i], policy); },
+        workers);
+  };
+  const std::vector<FuzzOutcome> serial = run(1);
+  const std::vector<FuzzOutcome> parallel = run(jobs);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const FuzzOutcome& a = serial[i];
+    const FuzzOutcome& b = parallel[i];
+    if (a.diverged != b.diverged ||
+        (a.diverged &&
+         (a.first.ToString() != b.first.ToString() ||
+          a.reproducer.trace.size() != b.reproducer.trace.size() ||
+          a.reproducer.divergence != b.reproducer.divergence))) {
+      return "seed " + std::to_string(seeds[i]) +
+             ": fuzz outcome depends on worker count (1 vs " +
+             std::to_string(jobs) + " jobs)";
+    }
+  }
+  return "";
+}
+
+}  // namespace dlpsim::verify

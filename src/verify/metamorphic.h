@@ -1,0 +1,49 @@
+// Metamorphic properties: relations that must hold between runs (or
+// within one run's counters) without consulting any oracle. They catch
+// whole classes of bugs the differential harness shares with the oracle
+// (e.g. a misreading of the paper present in both implementations).
+//
+//   - Counter conservation: the CacheStats block of a drained cache must
+//     satisfy accesses == loads + stores, loads == hits + misses,
+//     load_misses == issued + merged + bypassed, fills == issued, ...
+//   - Protection neutrality: DLP whose sampling window never closes
+//     keeps every PD at 0 and (given resources so the bypass path is
+//     never consulted) must behave access-for-access like Baseline LRU.
+//   - Determinism: the same seeds produce identical fuzz outcomes
+//     regardless of the worker count used to run them (the PR-2
+//     DLPSIM_JOBS guarantee, extended to the verify/ pipeline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/stats.h"
+#include "sim/config.h"
+#include "verify/fuzzer.h"
+
+namespace dlpsim::verify {
+
+/// Checks the conservation identities over a *drained* cache's counters
+/// (no in-flight fills or queued requests). Returns "" when consistent.
+std::string CheckStatsConservation(const CacheStats& s);
+
+/// Builds a DLP twin of `base` whose protection can never act: the
+/// sampling window is made unreachable so every PD stays 0, and MSHR /
+/// miss-queue resources are raised so the resource-stall bypass is never
+/// consulted. `base` gets the same resource raise.
+L1DConfig NeutralizedDlpTwin(const L1DConfig& base);
+
+/// Generates the seed's fuzz trace and runs Baseline LRU against the
+/// neutralized-DLP twin in lockstep; any difference is a real divergence
+/// between the LRU core and the protection machinery at PD == 0.
+/// Returns "" on agreement.
+std::string CheckProtectionNeutrality(std::uint64_t seed);
+
+/// Runs `seeds` through the full fuzz pipeline once serially and once on
+/// `jobs` workers and compares every outcome (divergence flag, message,
+/// reproducer length). Returns "" when both schedules agree exactly.
+std::string CheckFuzzDeterminism(const std::vector<std::uint64_t>& seeds,
+                                 PolicyKind policy, std::size_t jobs);
+
+}  // namespace dlpsim::verify

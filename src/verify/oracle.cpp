@@ -1,0 +1,433 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlpsim::verify {
+
+namespace {
+std::uint32_t SatMax(std::uint32_t bits) {
+  return bits >= 32 ? 0xffffffffu : (1u << bits) - 1u;
+}
+}  // namespace
+
+OracleL1D::OracleL1D(const L1DConfig& cfg, OracleBug bug)
+    : cfg_((cfg.ValidateOrThrow(), cfg)),
+      bug_(bug),
+      nasc_(cfg.prot.vta_ways == 0 ? cfg.geom.ways : cfg.prot.vta_ways),
+      pd_max_((1u << cfg.prot.pd_bits) - 1u),
+      pdpt_size_(cfg.policy == PolicyKind::kGlobalProtection
+                     ? 1u
+                     : cfg.prot.pdpt_entries),
+      insn_bits_(cfg.policy == PolicyKind::kGlobalProtection
+                     ? 0u
+                     : cfg.prot.insn_id_bits),
+      tda_hit_max_(SatMax(cfg.prot.tda_hit_bits)),
+      vta_hit_max_(SatMax(cfg.prot.vta_hit_bits)),
+      lines_(std::size_t{cfg.geom.sets} * cfg.geom.ways),
+      vta_(protection() ? std::size_t{cfg.geom.sets} * nasc_ : 0),
+      pdpt_(protection() ? pdpt_size_ : 0) {}
+
+std::uint32_t OracleL1D::SetOf(Addr block) const {
+  const std::uint32_t mask = cfg_.geom.sets - 1;
+  if (cfg_.geom.index == IndexFunction::kLinear) {
+    return static_cast<std::uint32_t>(block) & mask;
+  }
+  std::uint32_t bits = 0;
+  while ((1u << bits) < cfg_.geom.sets) ++bits;
+  const Addr folded = block ^ (block >> bits) ^ (block >> (2 * bits));
+  return static_cast<std::uint32_t>(folded) & mask;
+}
+
+OracleL1D::Line* OracleL1D::Find(std::uint32_t set, Addr block) {
+  Line* base = &lines_[std::size_t{set} * cfg_.geom.ways];
+  for (std::uint32_t w = 0; w < cfg_.geom.ways; ++w) {
+    if (IsOccupied(base[w].state) && base[w].block == block) return &base[w];
+  }
+  return nullptr;
+}
+
+std::uint32_t OracleL1D::InsnIdOf(Pc pc) const {
+  return HashPc(pc, insn_bits_) % pdpt_size_;
+}
+
+void OracleL1D::Commit(std::uint32_t set, AccessType type, Cycle now) {
+  ++stats_.accesses;
+  if (protection()) {
+    // §4.1.1: EVERY query of a set (loads, stores, even bypassed
+    // requests) consumes one unit of each resident line's protected life.
+    const bool decay =
+        !(bug_ == OracleBug::kSkipDecayOnStores && type == AccessType::kStore);
+    if (decay) {
+      Line* base = &lines_[std::size_t{set} * cfg_.geom.ways];
+      for (std::uint32_t w = 0; w < cfg_.geom.ways; ++w) {
+        if (base[w].pl > 0) --base[w].pl;
+      }
+    }
+    // §4.1.4 sampling window.
+    if (!window_started_) {
+      window_start_ = now;
+      window_started_ = true;
+    }
+    ++window_accesses_;
+    const bool due = window_accesses_ >= cfg_.prot.sample_accesses ||
+                     now - window_start_ >= cfg_.prot.sample_max_cycles;
+    if (due) {
+      EndSampleFig9();
+      window_accesses_ = 0;
+      window_start_ = now;
+    }
+  }
+}
+
+void OracleL1D::EndSampleFig9() {
+  // Fig. 9 / §4.2, transcribed from the paper's step table.
+  if (global_vta_hits_ > global_tda_hits_) {
+    // Under-protected: grow each instruction's PD by the step comparison
+    // of its own HitVTA against shifted HitTDA (upper limit 4 * Nasc).
+    for (PdptEntry& e : pdpt_) {
+      std::uint32_t adj = 0;
+      if (e.vta_hits == 0) {
+        adj = 0;
+      } else if (e.tda_hits == 0 || e.vta_hits >= 4 * e.tda_hits) {
+        adj = 4 * nasc_;
+      } else if (e.vta_hits >= 2 * e.tda_hits) {
+        adj = 2 * nasc_;
+      } else if (e.vta_hits >= e.tda_hits) {
+        adj = nasc_;
+      } else if (2 * e.vta_hits >= e.tda_hits) {
+        adj = nasc_ / 2;
+      }
+      e.pd += adj;
+      if (e.pd > pd_max_ && bug_ != OracleBug::kPdIncreaseNoClamp) {
+        e.pd = pd_max_;
+      }
+    }
+  } else if (2 * global_vta_hits_ < global_tda_hits_) {
+    // Lines hit enough before their protection expires: shrink every PD.
+    const std::uint32_t dec =
+        bug_ == OracleBug::kPdDecreaseOffByOne ? nasc_ - 1 : nasc_;
+    for (PdptEntry& e : pdpt_) {
+      e.pd = e.pd > dec ? e.pd - dec : 0;
+    }
+  }
+  for (PdptEntry& e : pdpt_) {
+    e.tda_hits = 0;
+    e.vta_hits = 0;
+  }
+  global_tda_hits_ = 0;
+  global_vta_hits_ = 0;
+}
+
+void OracleL1D::Stamp(Line& line, Pc pc) {
+  const std::uint32_t id = InsnIdOf(pc);
+  line.insn_id = id;
+  line.pl = pdpt_[id].pd;
+}
+
+void OracleL1D::OnLoadMissVta(std::uint32_t set, Addr block) {
+  VtaEntry* base = &vta_[std::size_t{set} * nasc_];
+  for (std::uint32_t w = 0; w < nasc_; ++w) {
+    if (base[w].valid && base[w].block == block) {
+      // The evicted line would have been hit by this miss: credit the
+      // instruction that owned it and consume the entry (§4.1.2).
+      PdptEntry& e = pdpt_[base[w].insn_id];
+      if (e.vta_hits < vta_hit_max_) ++e.vta_hits;
+      ++global_vta_hits_;
+      if (bug_ != OracleBug::kVtaKeepOnHit) base[w] = VtaEntry{};
+      return;
+    }
+  }
+}
+
+void OracleL1D::EvictInto(std::uint32_t set, Line& victim, Addr block,
+                          Pc pc) {
+  if (IsFilled(victim.state)) {
+    ++stats_.evictions;
+    if (protection()) {
+      // Record the displaced tag in the VTA: refresh an existing entry
+      // for the same block, else take an invalid slot, else the LRU one.
+      VtaEntry* base = &vta_[std::size_t{set} * nasc_];
+      VtaEntry* slot = nullptr;
+      for (std::uint32_t w = 0; w < nasc_; ++w) {
+        if (base[w].valid && base[w].block == victim.block) {
+          slot = &base[w];
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        for (std::uint32_t w = 0; w < nasc_; ++w) {
+          if (!base[w].valid) {
+            slot = &base[w];
+            break;
+          }
+        }
+      }
+      if (slot == nullptr) {
+        slot = &base[0];
+        for (std::uint32_t w = 1; w < nasc_; ++w) {
+          if (base[w].stamp < slot->stamp) slot = &base[w];
+        }
+      }
+      slot->block = victim.block;
+      slot->insn_id = victim.insn_id;
+      slot->valid = true;
+      slot->stamp = ++vta_recency_;
+    }
+    if (victim.state == LineState::kModified) {
+      ++stats_.writebacks;
+      outgoing_.push_back(OracleOutgoing{
+          .block = victim.block, .write = true, .no_fill = true,
+          .pc = victim.src_pc, .token = 0});
+    }
+  }
+  victim.block = block;
+  victim.state = LineState::kReserved;
+  victim.stamp = ++recency_;
+  victim.src_pc = pc;
+  victim.insn_id = 0;
+  victim.pl = 0;
+}
+
+AccessResult OracleL1D::Access(const MemAccess& access, Cycle now) {
+  const Addr block = access.addr / cfg_.geom.line_bytes;
+  const std::uint32_t set = SetOf(block);
+  return access.type == AccessType::kLoad ? Load(access, set, block, now)
+                                          : Store(access, set, block, now);
+}
+
+AccessResult OracleL1D::Load(const MemAccess& a, std::uint32_t set,
+                             Addr block, Cycle now) {
+  Line* line = Find(set, block);
+
+  if (line != nullptr && IsFilled(line->state)) {
+    Commit(set, AccessType::kLoad, now);
+    if (protection()) {
+      // Attribute the hit to the instruction that last owned the line
+      // (§4.1.1), then hand ownership to the hitting instruction.
+      PdptEntry& e = pdpt_[line->insn_id];
+      if (e.tda_hits < tda_hit_max_) ++e.tda_hits;
+      ++global_tda_hits_;
+      Stamp(*line, a.pc);
+    }
+    line->stamp = ++recency_;
+    ++stats_.loads;
+    ++stats_.load_hits;
+    return AccessResult::kHit;
+  }
+
+  if (line != nullptr) {  // RESERVED: fill in flight
+    auto it = mshr_.find(block);
+    assert(it != mshr_.end());
+    if (it->second.size() < cfg_.mshr_max_merged) {
+      Commit(set, AccessType::kLoad, now);
+      // The data is not here yet, so no hit is credited, but the merged
+      // requester still takes ownership and rewrites the PL (§4.1.1).
+      if (protection()) Stamp(*line, a.pc);
+      it->second.push_back(a.token);
+      ++stats_.loads;
+      ++stats_.load_misses;
+      ++stats_.mshr_merges;
+      return AccessResult::kMissMerged;
+    }
+    if (bypass_on_resource_stall() &&
+        outgoing_.size() < cfg_.miss_queue_entries) {
+      Commit(set, AccessType::kLoad, now);
+      if (protection()) OnLoadMissVta(set, block);
+      ++stats_.loads;
+      ++stats_.load_misses;
+      ++stats_.bypasses;
+      outgoing_.push_back(OracleOutgoing{.block = block, .write = false,
+                                         .no_fill = true, .pc = a.pc,
+                                         .token = a.token});
+      return AccessResult::kBypassed;
+    }
+    ++stats_.reservation_fails;
+    return AccessResult::kReservationFail;
+  }
+
+  // True miss. Pick the victim BEFORE this access's PL decay runs: the
+  // hardware reads the PL fields and decrements them in the same query.
+  Line* base = &lines_[std::size_t{set} * cfg_.geom.ways];
+  Line* victim = nullptr;
+  bool policy_bypass = false;
+  bool policy_stall = false;
+  {
+    // An INVALID way wins outright (first in way order, though which
+    // invalid slot is taken is unobservable).
+    for (std::uint32_t w = 0; w < cfg_.geom.ways && victim == nullptr; ++w) {
+      if (base[w].state == LineState::kInvalid) victim = &base[w];
+    }
+    if (victim == nullptr) {
+      // LRU among replaceable lines: filled, and (protection) PL == 0.
+      for (std::uint32_t w = 0; w < cfg_.geom.ways; ++w) {
+        Line& l = base[w];
+        if (!IsFilled(l.state)) continue;
+        if (protection() && l.pl > 0) continue;
+        if (victim == nullptr || l.stamp < victim->stamp) victim = &l;
+      }
+    }
+    if (victim == nullptr) {
+      bool any_filled = false;
+      for (std::uint32_t w = 0; w < cfg_.geom.ways; ++w) {
+        any_filled = any_filled || IsFilled(base[w].state);
+      }
+      if (cfg_.policy == PolicyKind::kBaseline) {
+        policy_stall = true;
+      } else if (cfg_.policy == PolicyKind::kStallBypass) {
+        policy_bypass = true;
+      } else if (any_filled) {
+        // Every filled line is still protected: bypass around the cache
+        // rather than evicting a protected line (§4.1.1).
+        policy_bypass = true;
+      } else {
+        // Every way RESERVED: stall exactly like the baseline.
+        policy_stall = true;
+      }
+    }
+  }
+
+  if (victim != nullptr) {
+    const bool dirty = victim->state == LineState::kModified;
+    const std::size_t slots = dirty ? 2 : 1;
+    const bool has_resources =
+        mshr_.size() < cfg_.mshr_entries &&
+        outgoing_.size() + slots <= cfg_.miss_queue_entries;
+    if (has_resources) {
+      Commit(set, AccessType::kLoad, now);
+      if (protection()) OnLoadMissVta(set, block);
+      EvictInto(set, *victim, block, a.pc);
+      if (protection()) Stamp(*victim, a.pc);
+      mshr_[block] = {a.token};
+      outgoing_.push_back(OracleOutgoing{.block = block, .write = false,
+                                         .no_fill = false, .pc = a.pc,
+                                         .token = 0});
+      ++stats_.loads;
+      ++stats_.load_misses;
+      ++stats_.misses_issued;
+      return AccessResult::kMissIssued;
+    }
+    if (bypass_on_resource_stall()) {
+      policy_bypass = true;
+    } else {
+      policy_stall = true;
+    }
+  }
+
+  if (policy_bypass && outgoing_.size() < cfg_.miss_queue_entries) {
+    Commit(set, AccessType::kLoad, now);
+    if (protection()) OnLoadMissVta(set, block);
+    ++stats_.loads;
+    ++stats_.load_misses;
+    ++stats_.bypasses;
+    outgoing_.push_back(OracleOutgoing{.block = block, .write = false,
+                                       .no_fill = true, .pc = a.pc,
+                                       .token = a.token});
+    return AccessResult::kBypassed;
+  }
+
+  (void)policy_stall;
+  ++stats_.reservation_fails;
+  return AccessResult::kReservationFail;
+}
+
+AccessResult OracleL1D::Store(const MemAccess& a, std::uint32_t set,
+                              Addr block, Cycle now) {
+  Line* line = Find(set, block);
+  const bool hit = line != nullptr && IsFilled(line->state);
+
+  if (hit && cfg_.write_policy == WritePolicy::kWriteBackOnHit) {
+    Commit(set, AccessType::kStore, now);
+    line->state = LineState::kModified;
+    line->stamp = ++recency_;
+    ++stats_.stores;
+    ++stats_.store_hits;
+    return AccessResult::kStoreSent;
+  }
+
+  if (outgoing_.size() >= cfg_.miss_queue_entries) {
+    ++stats_.reservation_fails;
+    return AccessResult::kReservationFail;
+  }
+  Commit(set, AccessType::kStore, now);
+  ++stats_.stores;
+  if (hit) {
+    // Write-evict (Fermi global stores): drop the cached copy.
+    ++stats_.store_hits;
+    ++stats_.store_invalidates;
+    *line = Line{};
+  }
+  outgoing_.push_back(OracleOutgoing{.block = block, .write = true,
+                                     .no_fill = true, .pc = a.pc,
+                                     .token = 0});
+  return AccessResult::kStoreSent;
+}
+
+void OracleL1D::Fill(Addr block, bool no_fill, MshrToken token,
+                     std::vector<MshrToken>& woken) {
+  if (no_fill) {
+    woken.push_back(token);
+    return;
+  }
+  Line* line = Find(SetOf(block), block);
+  assert(line != nullptr && line->state == LineState::kReserved);
+  line->state = LineState::kValid;  // recency unchanged: fills do not touch
+  ++stats_.fills;
+  auto it = mshr_.find(block);
+  assert(it != mshr_.end());
+  woken.insert(woken.end(), it->second.begin(), it->second.end());
+  mshr_.erase(it);
+}
+
+OracleOutgoing OracleL1D::PopOutgoing() {
+  assert(!outgoing_.empty());
+  OracleOutgoing front = outgoing_.front();
+  outgoing_.pop_front();
+  return front;
+}
+
+std::vector<OracleL1D::LineImage> OracleL1D::SetImage(
+    std::uint32_t set) const {
+  std::vector<Line> occupied;
+  const Line* base = &lines_[std::size_t{set} * cfg_.geom.ways];
+  for (std::uint32_t w = 0; w < cfg_.geom.ways; ++w) {
+    if (IsOccupied(base[w].state)) occupied.push_back(base[w]);
+  }
+  std::sort(occupied.begin(), occupied.end(),
+            [](const Line& a, const Line& b) { return a.stamp < b.stamp; });
+  std::vector<LineImage> out;
+  out.reserve(occupied.size());
+  for (const Line& l : occupied) {
+    out.push_back(LineImage{l.block, l.state, l.insn_id, l.pl});
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> OracleL1D::PdImage() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(pdpt_.size());
+  for (const PdptEntry& e : pdpt_) out.push_back(e.pd);
+  return out;
+}
+
+std::vector<OracleL1D::VtaImage> OracleL1D::VtaSetImage(
+    std::uint32_t set) const {
+  if (!protection()) return {};
+  std::vector<VtaEntry> occupied;
+  const VtaEntry* base = &vta_[std::size_t{set} * nasc_];
+  for (std::uint32_t w = 0; w < nasc_; ++w) {
+    if (base[w].valid) occupied.push_back(base[w]);
+  }
+  std::sort(occupied.begin(), occupied.end(),
+            [](const VtaEntry& a, const VtaEntry& b) {
+              return a.stamp < b.stamp;
+            });
+  std::vector<VtaImage> out;
+  out.reserve(occupied.size());
+  for (const VtaEntry& e : occupied) {
+    out.push_back(VtaImage{e.block, e.insn_id});
+  }
+  return out;
+}
+
+}  // namespace dlpsim::verify

@@ -1,0 +1,183 @@
+// Executable reference models ("oracles") for the L1D and the DLP side
+// structures, written directly from the paper's step tables rather than
+// from src/core's optimized implementations.
+//
+// The oracles trade every optimization for obviousness: recency-ordered
+// scans instead of incremental counters, straight Fig. 9 arithmetic
+// instead of the shared StampOwnership/CommitQuery plumbing, and plain
+// containers instead of the production tag array. The differential
+// driver (verify/differential.h) runs the real L1DCache and OracleL1D
+// access-by-access on the same input and flags the first observable
+// divergence; a policy bug in either implementation surfaces as a
+// mismatch the fuzzer then shrinks to a minimal reproducer.
+//
+// OracleL1D deliberately re-derives, independently of src/core:
+//   - LRU victim selection + RESERVED-line semantics (GPGPU-Sim rules)
+//   - protected-life decay, stamping and PL-based victim choice (§4.1.1)
+//   - the VTA's consume-on-hit / insert-on-eviction flow (§4.1.2)
+//   - the PDPT's saturating counters and the Fig. 9 PD update (§4.2)
+//   - MSHR allocate/merge limits and the miss-queue slot accounting
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cache/line.h"
+#include "cache/mshr.h"
+#include "cache/stats.h"
+#include "core/l1d_cache.h"
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace dlpsim::verify {
+
+/// Test-only sabotage knobs: each plants one deliberate bug inside the
+/// oracle so the differential harness (and its shrinker) can be verified
+/// to catch exactly the class of defect it exists for. kNone in all real
+/// verification runs.
+enum class OracleBug : std::uint8_t {
+  kNone,
+  kPdDecreaseOffByOne,   // Fig. 9 decrease path subtracts Nasc-1, not Nasc
+  kPdIncreaseNoClamp,    // increase path misses the pd_max clamp
+  kSkipDecayOnStores,    // §4.1.1: PL decay wrongly skipped for stores
+  kVtaKeepOnHit,         // VTA entry wrongly kept (not consumed) on hit
+};
+
+/// One request the oracle expects to leave the cache, mirroring
+/// L1DOutgoing field-for-field so the driver can compare streams.
+struct OracleOutgoing {
+  Addr block = 0;
+  bool write = false;
+  bool no_fill = false;
+  Pc pc = 0;
+  MshrToken token = 0;
+};
+
+/// Reference model of one L1D front end under any PolicyKind.
+class OracleL1D {
+ public:
+  explicit OracleL1D(const L1DConfig& cfg, OracleBug bug = OracleBug::kNone);
+
+  /// Mirrors L1DCache::Access. On kReservationFail no state changed.
+  AccessResult Access(const MemAccess& access, Cycle now);
+
+  /// Mirrors L1DCache::Fill; appends woken tokens in retire order.
+  void Fill(Addr block, bool no_fill, MshrToken token,
+            std::vector<MshrToken>& woken);
+
+  bool HasOutgoing() const { return !outgoing_.empty(); }
+  OracleOutgoing PopOutgoing();
+  std::size_t outgoing_size() const { return outgoing_.size(); }
+
+  const CacheStats& stats() const { return stats_; }
+  const L1DConfig& config() const { return cfg_; }
+
+  // --- state rendering for divergence detection -------------------------
+  // Way positions are not architecturally meaningful, so per-set state is
+  // rendered in recency order (least recent first) for comparison with
+  // the real tag array rendered the same way.
+
+  struct LineImage {
+    Addr block = 0;
+    LineState state = LineState::kInvalid;
+    std::uint32_t insn_id = 0;
+    std::uint32_t protected_life = 0;
+  };
+  /// Occupied lines of `set`, least-recently-used first.
+  std::vector<LineImage> SetImage(std::uint32_t set) const;
+
+  /// Per-entry protection distances (empty for LRU policies).
+  std::vector<std::uint32_t> PdImage() const;
+
+  struct VtaImage {
+    Addr block = 0;
+    std::uint32_t insn_id = 0;
+  };
+  /// Occupied VTA entries of `set`, least-recently-used first (empty for
+  /// LRU policies).
+  std::vector<VtaImage> VtaSetImage(std::uint32_t set) const;
+
+  std::uint32_t sets() const { return cfg_.geom.sets; }
+
+ private:
+  struct Line {
+    Addr block = 0;
+    LineState state = LineState::kInvalid;
+    std::uint64_t stamp = 0;  // recency; larger = more recent
+    std::uint32_t insn_id = 0;
+    std::uint32_t pl = 0;
+    Pc src_pc = 0;
+  };
+
+  struct VtaEntry {
+    Addr block = 0;
+    std::uint32_t insn_id = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  struct PdptEntry {
+    std::uint32_t pd = 0;
+    std::uint32_t tda_hits = 0;  // saturating at tda_hit_max_
+    std::uint32_t vta_hits = 0;  // saturating at vta_hit_max_
+  };
+
+  bool protection() const {
+    return cfg_.policy == PolicyKind::kGlobalProtection ||
+           cfg_.policy == PolicyKind::kDlp;
+  }
+  bool bypass_on_resource_stall() const {
+    return cfg_.policy != PolicyKind::kBaseline;
+  }
+
+  std::uint32_t SetOf(Addr block) const;
+  Line* Find(std::uint32_t set, Addr block);
+
+  // Completed-access bookkeeping shared by every path: PL decay over the
+  // queried set, then the sampling window / Fig. 9 update.
+  void Commit(std::uint32_t set, AccessType type, Cycle now);
+  void EndSampleFig9();
+
+  std::uint32_t InsnIdOf(Pc pc) const;
+  void Stamp(Line& line, Pc pc);  // transfer ownership + rewrite PL
+
+  void OnLoadMissVta(std::uint32_t set, Addr block);
+  void EvictInto(std::uint32_t set, Line& victim, Addr block, Pc pc);
+
+  AccessResult Load(const MemAccess& a, std::uint32_t set, Addr block,
+                    Cycle now);
+  AccessResult Store(const MemAccess& a, std::uint32_t set, Addr block,
+                     Cycle now);
+
+  L1DConfig cfg_;
+  OracleBug bug_;
+  std::uint32_t nasc_;          // VTA associativity (Fig. 9's Nasc)
+  std::uint32_t pd_max_;        // (1 << pd_bits) - 1
+  std::uint32_t pdpt_size_;     // 1 for Global-Protection
+  std::uint32_t insn_bits_;     // 0 for Global-Protection
+  std::uint32_t tda_hit_max_;
+  std::uint32_t vta_hit_max_;
+
+  std::vector<Line> lines_;     // sets * ways, row-major
+  std::vector<VtaEntry> vta_;   // sets * nasc_, row-major
+  std::vector<PdptEntry> pdpt_;
+  std::uint64_t global_tda_hits_ = 0;
+  std::uint64_t global_vta_hits_ = 0;
+  std::uint64_t recency_ = 0;     // TDA recency clock
+  std::uint64_t vta_recency_ = 0;
+
+  // Sampling window (paper §4.1.4): ends after sample_accesses completed
+  // cache accesses or sample_max_cycles core cycles.
+  std::uint32_t window_accesses_ = 0;
+  Cycle window_start_ = 0;
+  bool window_started_ = false;
+
+  std::map<Addr, std::vector<MshrToken>> mshr_;
+  std::deque<OracleOutgoing> outgoing_;
+  CacheStats stats_;
+};
+
+}  // namespace dlpsim::verify

@@ -193,6 +193,49 @@ TEST(ParseTraceStrict, RejectsTruncatedAndGarbageLines) {
   }
 }
 
+TEST(ParseTraceStrict, RejectsSignedAndOverflowingNumbers) {
+  // Regression tests for parser-fuzz escapes: istream>> on an unsigned
+  // and stoull both silently wrap "-5" to 2^64-5, and a pc wider than
+  // 32 bits used to truncate instead of failing.
+  const char* bad[] = {
+      "L -5 1\n",                         // negative address wraps
+      "L +5 1\n",                         // explicit sign is not a number
+      "L 0x80 -1\n",                      // negative pc wraps
+      "L 0x80 0x100000000\n",             // pc > UINT32_MAX
+      "L 0xfffffffffffffffffffffffff 1\n",  // address overflows uint64
+      "L 0x80 99999999999999999999999\n",   // pc overflows uint64
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    std::vector<TraceAccess> out;
+    TraceParseError err;
+    EXPECT_FALSE(ParseTraceStrict(in, &out, &err)) << text;
+    EXPECT_FALSE(err.message.empty()) << text;
+    EXPECT_EQ(err.line, 1u) << text;
+  }
+  // The lenient parser must agree: these lines are skipped, not wrapped.
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    std::string error;
+    EXPECT_TRUE(ParseTrace(in, &error).empty()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ParseTraceStrict, AcceptsBoundaryValuesExactly) {
+  std::istringstream in(
+      "L 0xffffffffffffffff 0xffffffff\n"  // max addr, max pc
+      "L 0 0\n");
+  std::vector<TraceAccess> out;
+  TraceParseError err;
+  ASSERT_TRUE(ParseTraceStrict(in, &out, &err)) << err.ToString();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].addr, ~0ull);
+  EXPECT_EQ(out[0].pc, 0xffffffffu);
+  EXPECT_EQ(out[1].addr, 0u);
+  EXPECT_EQ(out[1].pc, 0u);
+}
+
 TEST(TraceReplayer, RejectsInvalidConfigBeforeReplaying) {
   L1DConfig cfg = SmallConfig();
   cfg.mshr_entries = 0;

@@ -139,6 +139,121 @@ TEST(Crossbar, ByteAccountingByClass) {
   EXPECT_EQ(xbar.total_bytes(), 244u);
 }
 
+TEST(Crossbar, BackToBackPacketsSerializeOnePerCycle) {
+  // Latency accounting for a busy port: each 8B packet occupies the
+  // 32B/cyc serializer for one cycle, so the n-th packet lands exactly
+  // one cycle after the (n-1)-th: ticks 5, 6, 7 for three packets.
+  Crossbar xbar(FastIcnt(), 1, 1);
+  Cycle now = 0;
+  for (int i = 0; i < 3; ++i) {
+    xbar.InjectFromCore(0, ReadReq(0, 0, static_cast<Addr>(i)));
+  }
+  std::vector<Cycle> arrival;
+  while (arrival.size() < 3 && now < 100) {
+    xbar.Tick(++now);
+    while (xbar.HasForPartition(0)) {
+      arrival.push_back(now);
+      xbar.PopForPartition(0);
+    }
+  }
+  ASSERT_EQ(arrival.size(), 3u);
+  EXPECT_EQ(arrival[0], 5u);  // 1 serialize + 4 latency
+  EXPECT_EQ(arrival[1], 6u);
+  EXPECT_EQ(arrival[2], 7u);
+}
+
+TEST(Crossbar, InjectedStallDelaysDeliveryByExactlyThatLong) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  Cycle now = 0;
+  xbar.InjectFromCore(0, ReadReq(0, 0));
+  xbar.InjectStallFor(3);
+  TickN(xbar, now, 7);  // 3 swallowed + 1 serialize + latency not yet up
+  EXPECT_FALSE(xbar.HasForPartition(0));
+  TickN(xbar, now, 1);  // tick 8 = 3 + the usual 5
+  EXPECT_TRUE(xbar.HasForPartition(0));
+}
+
+TEST(Crossbar, DepthsTrackPacketThroughStages) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  IcntPacket big = ReadReq(0, 0);
+  big.bytes = 136;  // 5 cycles to serialize at 32B/cycle
+  xbar.InjectFromCore(0, big);
+  Crossbar::QueueDepths d = xbar.Depths();
+  EXPECT_EQ(d.core_inject, 1u);
+  EXPECT_EQ(d.in_flight, 0u);
+
+  Cycle now = 0;
+  TickN(xbar, now, 4);  // partially serialized: still owned by the port
+  d = xbar.Depths();
+  EXPECT_EQ(d.core_inject, 1u);
+  EXPECT_EQ(d.in_flight, 0u);
+
+  TickN(xbar, now, 1);  // serialization completes at tick 5
+  d = xbar.Depths();
+  EXPECT_EQ(d.core_inject, 0u);
+  EXPECT_EQ(d.in_flight, 1u);
+
+  TickN(xbar, now, 4);  // arrives at 5 + latency(4) = tick 9
+  d = xbar.Depths();
+  EXPECT_EQ(d.in_flight, 0u);
+  EXPECT_EQ(d.to_partition, 1u);
+}
+
+TEST(Crossbar, PartitionSideInjectionBackpressure) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  int injected = 0;
+  IcntPacket reply;
+  reply.kind = IcntPacket::Kind::kReadReply;
+  reply.bytes = 136;
+  while (xbar.CanInjectFromPartition(0)) {
+    xbar.InjectFromPartition(0, reply);
+    ++injected;
+  }
+  EXPECT_EQ(injected, 8);
+  Cycle now = 0;
+  TickN(xbar, now, 5);  // one 136B reply fully serialized frees a slot
+  EXPECT_TRUE(xbar.CanInjectFromPartition(0));
+}
+
+TEST(Crossbar, OrderSurvivesDeliveryQueueBackpressure) {
+  // Saturate the partition-0 delivery queue (cap 16) so later packets
+  // block in flight, then drain slowly: the original injection order
+  // must come out the other end untouched.
+  Crossbar xbar(FastIcnt(), 1, 1);
+  Cycle now = 0;
+  int injected = 0;
+  while (injected < 20) {
+    if (xbar.CanInjectFromCore(0)) {
+      xbar.InjectFromCore(0, ReadReq(0, 0, static_cast<Addr>(injected++)));
+    }
+    xbar.Tick(++now);
+  }
+  std::vector<Addr> order;
+  while (!xbar.Idle() && now < 500) {
+    if (xbar.HasForPartition(0)) order.push_back(xbar.PopForPartition(0).addr);
+    xbar.Tick(++now);
+  }
+  while (xbar.HasForPartition(0)) order.push_back(xbar.PopForPartition(0).addr);
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<Addr>(i)) << "position " << i;
+  }
+}
+
+TEST(Crossbar, SmallPacketCannotOvertakeLargeOnSamePort) {
+  Crossbar xbar(FastIcnt(), 1, 1);
+  Cycle now = 0;
+  IcntPacket big = ReadReq(0, 0, 0xb16);
+  big.bytes = 160;  // 5 serialization cycles
+  xbar.InjectFromCore(0, big);
+  xbar.InjectFromCore(0, ReadReq(0, 0, 0x5a11));  // 1 cycle, queued behind
+  TickN(xbar, now, 30);
+  ASSERT_TRUE(xbar.HasForPartition(0));
+  EXPECT_EQ(xbar.PopForPartition(0).addr, 0xb16u);
+  ASSERT_TRUE(xbar.HasForPartition(0));
+  EXPECT_EQ(xbar.PopForPartition(0).addr, 0x5a11u);
+}
+
 TEST(Crossbar, IdleTracksAllStages) {
   Crossbar xbar(FastIcnt(), 1, 1);
   EXPECT_TRUE(xbar.Idle());

@@ -127,6 +127,91 @@ TEST(Dram, BusSerializesBackToBackBursts) {
   EXPECT_GE(last, 8u * total / 2);
 }
 
+std::vector<Cycle> CompletionCycles(DramChannel& dram, std::size_t count,
+                                    Cycle start = 0, Cycle max_cycles = 10000) {
+  std::vector<Cycle> cycles;
+  for (Cycle now = start; now < max_cycles && cycles.size() < count; ++now) {
+    for (std::size_t i = 0; i < dram.Tick(now).size(); ++i) {
+      cycles.push_back(now);
+    }
+  }
+  return cycles;
+}
+
+TEST(Dram, RowMissLatencyIsExactlyActivationPlusBurst) {
+  DramChannel dram(SmallDram(), 128);
+  dram.Enqueue({0, false, 0});
+  const auto cycles = CompletionCycles(dram, 1);
+  ASSERT_EQ(cycles.size(), 1u);
+  // Issued at cycle 0: t_row_miss(30) + 8-cycle burst on the data bus.
+  EXPECT_EQ(cycles[0], 38u);
+}
+
+TEST(Dram, RowHitLatencyIsExactlyColumnAccessPlusBurst) {
+  DramChannel dram(SmallDram(), 128);
+  dram.Enqueue({0, false, 0});
+  ASSERT_EQ(CompletionCycles(dram, 1).size(), 1u);  // opens row 0 of bank 0
+  // Re-request the open row once bank and bus are long idle: the only
+  // cost left is t_row_hit(10) + burst(8), relative to the issue cycle.
+  dram.Enqueue({1, false, 1});
+  const auto cycles = CompletionCycles(dram, 1, /*start=*/100);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], 118u);
+  EXPECT_EQ(dram.row_hits, 1u);
+}
+
+TEST(Dram, SecondMissToBusyBankWaitsForPrechargeWindow) {
+  DramChannel dram(SmallDram(), 128);
+  dram.Enqueue({0, false, 0});  // bank 0 row 0: issued at 0, bank busy 28
+  dram.Enqueue({8, false, 1});  // bank 0 row 1: can only issue at 28
+  const auto cycles = CompletionCycles(dram, 2);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0], 38u);
+  // Issue at 28 (t_rc + burst occupancy), then 30 activation, then the
+  // shared bus (free at 38 < 58) adds its 8-cycle burst: 66.
+  EXPECT_EQ(cycles[1], 66u);
+}
+
+TEST(Dram, SharedBusSerializesCompletionsAcrossBanks) {
+  DramChannel dram(SmallDram(), 128);
+  dram.Enqueue({0, false, 0});  // bank 0
+  dram.Enqueue({4, false, 1});  // bank 1: issues at cycle 1, no bank conflict
+  const auto cycles = CompletionCycles(dram, 2);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0], 38u);
+  // Bank-1 data is ready at 1 + 30 = 31 but the bus is occupied until
+  // 38, so its burst lands at 46 -- not the contention-free 39.
+  EXPECT_EQ(cycles[1], 46u);
+}
+
+TEST(Dram, SameBankSameRowRequestsCompleteInQueueOrder) {
+  DramChannel dram(SmallDram(), 128);
+  for (std::uint64_t tag = 0; tag < 6; ++tag) {
+    dram.Enqueue({static_cast<Addr>(tag % 4), false, tag});
+  }
+  const auto done = RunUntil(dram, 6);
+  ASSERT_EQ(done.size(), 6u);
+  for (std::uint64_t tag = 0; tag < 6; ++tag) {
+    EXPECT_EQ(done[tag].tag, tag) << "completion " << tag;
+  }
+}
+
+TEST(Dram, QueueAndInServiceDepthsTrackIssue) {
+  DramChannel dram(SmallDram(), 128);
+  dram.Enqueue({0, false, 0});  // bank 0
+  dram.Enqueue({4, false, 1});  // bank 1: issuable while bank 0 precharges
+  EXPECT_EQ(dram.queue_depth(), 2u);
+  EXPECT_EQ(dram.in_service_depth(), 0u);
+  dram.Tick(0);  // issues exactly one command per cycle
+  EXPECT_EQ(dram.queue_depth(), 1u);
+  EXPECT_EQ(dram.in_service_depth(), 1u);
+  dram.Tick(1);
+  EXPECT_EQ(dram.queue_depth(), 0u);
+  EXPECT_EQ(dram.in_service_depth(), 2u);
+  RunUntil(dram, 2, 10000);
+  EXPECT_EQ(dram.in_service_depth(), 0u);
+}
+
 TEST(Dram, IdleReflectsState) {
   DramChannel dram(SmallDram(), 128);
   EXPECT_TRUE(dram.Idle());

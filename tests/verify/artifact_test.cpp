@@ -1,0 +1,157 @@
+// Artifact round-trip: a reproducer written by the fuzzer must read back
+// bit-identically (config, params, seed, trace), stay consumable by the
+// plain trace parsers, and reject hand-edited files that would crash or
+// mislead the replayer.
+#include "verify/artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace dlpsim::verify {
+namespace {
+
+Artifact SampleArtifact() {
+  Artifact a;
+  a.config.policy = PolicyKind::kDlp;
+  a.config.geom.sets = 8;
+  a.config.geom.ways = 2;
+  a.config.geom.line_bytes = 64;
+  a.config.geom.index = IndexFunction::kLinear;
+  a.config.write_policy = WritePolicy::kWriteEvict;
+  a.config.mshr_entries = 3;
+  a.config.mshr_max_merged = 2;
+  a.config.miss_queue_entries = 5;
+  a.config.prot.sample_accesses = 32;
+  a.config.prot.sample_max_cycles = 1234;
+  a.config.prot.pdpt_entries = 16;
+  a.config.prot.insn_id_bits = 4;
+  a.config.prot.pd_bits = 3;
+  a.config.prot.vta_ways = 2;
+  a.params.fill_latency = 17;
+  a.params.drain_rate = 2;
+  a.params.state_check_interval = 8;
+  a.seed = 99;
+  a.divergence = "access #4: stats mismatch: load_hits: real=1 oracle=2";
+  a.trace = {
+      {0x1000, 3, AccessType::kLoad},
+      {0x2040, 4, AccessType::kStore},
+      {0x1000, 3, AccessType::kLoad},
+  };
+  return a;
+}
+
+TEST(Artifact, RoundTripPreservesEverything) {
+  const Artifact a = SampleArtifact();
+  std::stringstream stream;
+  WriteArtifact(stream, a);
+
+  Artifact b;
+  std::string error;
+  ASSERT_TRUE(ReadArtifact(stream, &b, &error)) << error;
+
+  EXPECT_EQ(b.config.policy, a.config.policy);
+  EXPECT_EQ(b.config.geom.sets, a.config.geom.sets);
+  EXPECT_EQ(b.config.geom.ways, a.config.geom.ways);
+  EXPECT_EQ(b.config.geom.line_bytes, a.config.geom.line_bytes);
+  EXPECT_EQ(b.config.geom.index, a.config.geom.index);
+  EXPECT_EQ(b.config.write_policy, a.config.write_policy);
+  EXPECT_EQ(b.config.mshr_entries, a.config.mshr_entries);
+  EXPECT_EQ(b.config.mshr_max_merged, a.config.mshr_max_merged);
+  EXPECT_EQ(b.config.miss_queue_entries, a.config.miss_queue_entries);
+  EXPECT_EQ(b.config.prot.sample_accesses, a.config.prot.sample_accesses);
+  EXPECT_EQ(b.config.prot.sample_max_cycles, a.config.prot.sample_max_cycles);
+  EXPECT_EQ(b.config.prot.pdpt_entries, a.config.prot.pdpt_entries);
+  EXPECT_EQ(b.config.prot.insn_id_bits, a.config.prot.insn_id_bits);
+  EXPECT_EQ(b.config.prot.pd_bits, a.config.prot.pd_bits);
+  EXPECT_EQ(b.config.prot.vta_ways, a.config.prot.vta_ways);
+  EXPECT_EQ(b.params.fill_latency, a.params.fill_latency);
+  EXPECT_EQ(b.params.drain_rate, a.params.drain_rate);
+  EXPECT_EQ(b.params.state_check_interval, a.params.state_check_interval);
+  EXPECT_EQ(b.seed, a.seed);
+  EXPECT_EQ(b.divergence, a.divergence);
+  ASSERT_EQ(b.trace.size(), a.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(b.trace[i].addr, a.trace[i].addr) << i;
+    EXPECT_EQ(b.trace[i].pc, a.trace[i].pc) << i;
+    EXPECT_EQ(b.trace[i].type, a.trace[i].type) << i;
+  }
+}
+
+TEST(Artifact, ArtifactIsAlsoAPlainTrace) {
+  // The whole point of the #@ format: any trace tool can consume a
+  // reproducer directly.
+  std::stringstream stream;
+  WriteArtifact(stream, SampleArtifact());
+  std::vector<TraceAccess> trace;
+  TraceParseError error;
+  EXPECT_TRUE(ParseTraceStrict(stream, &trace, &error)) << error.ToString();
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(Artifact, PlainTraceReadsWithDefaults) {
+  std::istringstream in("L 0x80 1\nS 0x100 2\n");
+  Artifact a;
+  std::string error;
+  ASSERT_TRUE(ReadArtifact(in, &a, &error)) << error;
+  EXPECT_EQ(a.config.policy, PolicyKind::kBaseline);
+  EXPECT_EQ(a.trace.size(), 2u);
+}
+
+TEST(Artifact, RejectsUnknownPolicy) {
+  std::istringstream in("#@ policy turbo\nL 0x80 1\n");
+  Artifact a;
+  std::string error;
+  EXPECT_FALSE(ReadArtifact(in, &a, &error));
+  EXPECT_NE(error.find("policy"), std::string::npos) << error;
+}
+
+TEST(Artifact, RejectsInvalidConfig) {
+  // 33 sets is not a power of two; a hand-edited artifact must fail the
+  // same validation gate as every other config source.
+  std::istringstream in("#@ sets 33\nL 0x80 1\n");
+  Artifact a;
+  std::string error;
+  EXPECT_FALSE(ReadArtifact(in, &a, &error));
+  EXPECT_NE(error.find("invalid"), std::string::npos) << error;
+}
+
+TEST(Artifact, RejectsMalformedTraceLine) {
+  std::istringstream in("#@ policy dlp\nL 0x80\n");
+  Artifact a;
+  std::string error;
+  EXPECT_FALSE(ReadArtifact(in, &a, &error));
+  EXPECT_NE(error.find("trace"), std::string::npos) << error;
+}
+
+TEST(Artifact, RejectsBadMetadataNumber) {
+  std::istringstream in("#@ sets banana\nL 0x80 1\n");
+  Artifact a;
+  std::string error;
+  EXPECT_FALSE(ReadArtifact(in, &a, &error));
+  EXPECT_NE(error.find("sets"), std::string::npos) << error;
+}
+
+TEST(Artifact, FileRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "dlpsim_artifact_test.trace";
+  std::string error;
+  ASSERT_TRUE(WriteArtifactFile(path.string(), SampleArtifact(), &error))
+      << error;
+  Artifact b;
+  ASSERT_TRUE(ReadArtifactFile(path.string(), &b, &error)) << error;
+  EXPECT_EQ(b.seed, 99u);
+  std::filesystem::remove(path);
+}
+
+TEST(Artifact, MissingFileReportsError) {
+  Artifact a;
+  std::string error;
+  EXPECT_FALSE(ReadArtifactFile("/nonexistent/artifact.trace", &a, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dlpsim::verify

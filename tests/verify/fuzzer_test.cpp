@@ -1,0 +1,86 @@
+// The fuzz-case generator and shrinker as components: seeds must expand
+// deterministically into valid configurations, and the parser fuzzer
+// must hold its no-crash/typed-error contract over the hardened parsers.
+#include "verify/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+namespace dlpsim::verify {
+namespace {
+
+bool SameTrace(const std::vector<TraceAccess>& a,
+               const std::vector<TraceAccess>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].addr != b[i].addr || a[i].pc != b[i].pc ||
+        a[i].type != b[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Fuzzer, SameSeedSamePolicyIsReproducible) {
+  const FuzzCase a = MakeFuzzCase(42, PolicyKind::kDlp);
+  const FuzzCase b = MakeFuzzCase(42, PolicyKind::kDlp);
+  EXPECT_EQ(a.config.geom.sets, b.config.geom.sets);
+  EXPECT_EQ(a.config.mshr_entries, b.config.mshr_entries);
+  EXPECT_EQ(a.params.fill_latency, b.params.fill_latency);
+  EXPECT_TRUE(SameTrace(a.trace, b.trace));
+}
+
+TEST(Fuzzer, DifferentSeedsProduceDifferentTraces) {
+  const FuzzCase a = MakeFuzzCase(1, PolicyKind::kBaseline);
+  const FuzzCase b = MakeFuzzCase(2, PolicyKind::kBaseline);
+  EXPECT_FALSE(SameTrace(a.trace, b.trace));
+}
+
+TEST(Fuzzer, GeneratedConfigsAlwaysValidate) {
+  for (const PolicyKind policy :
+       {PolicyKind::kBaseline, PolicyKind::kStallBypass,
+        PolicyKind::kGlobalProtection, PolicyKind::kDlp}) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+      const FuzzCase c = MakeFuzzCase(seed, policy);
+      const auto issues = c.config.Validate();
+      EXPECT_TRUE(issues.empty())
+          << ToString(policy) << " seed " << seed << ": "
+          << issues.front().ToString();
+      EXPECT_GE(c.trace.size(), 256u);
+      EXPECT_LE(c.trace.size(), 2048u);
+      EXPECT_GE(c.params.drain_rate, 1u);
+    }
+  }
+}
+
+TEST(Fuzzer, ShrinkKeepsTraceIntactWhenNothingDiverges) {
+  const FuzzCase c = MakeFuzzCase(3, PolicyKind::kBaseline);
+  ASSERT_FALSE(RunFuzzCase(c).has_value());
+  std::size_t steps = 0;
+  const std::vector<TraceAccess> shrunk =
+      ShrinkTrace(c, OracleBug::kNone, &steps);
+  EXPECT_TRUE(SameTrace(shrunk, c.trace));
+  EXPECT_EQ(steps, 1u);  // one probe to learn the full trace is clean
+}
+
+TEST(Fuzzer, FuzzOneSeedCleanOutcomeCarriesNoReproducer) {
+  const FuzzOutcome o = FuzzOneSeed(3, PolicyKind::kBaseline);
+  EXPECT_FALSE(o.diverged);
+  EXPECT_TRUE(o.reproducer.trace.empty());
+}
+
+TEST(Fuzzer, TraceParsersSurviveMalformedInputs) {
+  const std::string violation = FuzzTraceParsers(2026, 400);
+  EXPECT_TRUE(violation.empty()) << violation;
+}
+
+TEST(Fuzzer, TraceParserFuzzIsSeedStable) {
+  // Different seeds explore different inputs but the contract must hold
+  // for all of them; a failure message names the violating iteration.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::string violation = FuzzTraceParsers(seed, 100);
+    EXPECT_TRUE(violation.empty()) << "seed " << seed << ": " << violation;
+  }
+}
+
+}  // namespace
+}  // namespace dlpsim::verify

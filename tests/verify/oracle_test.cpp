@@ -1,0 +1,128 @@
+// Sanity pins for the reference model itself: tiny hand-walked
+// scenarios whose outcomes are obvious from the paper / GPGPU-Sim rules.
+// The heavy validation of the oracle happens differentially (it must
+// agree with the production cache on every fuzzed trace); these tests
+// exist so an oracle regression fails with a readable scenario instead
+// of a fuzz divergence.
+#include "verify/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+
+namespace dlpsim::verify {
+namespace {
+
+L1DConfig SmallConfig(PolicyKind policy) {
+  L1DConfig cfg;
+  cfg.policy = policy;
+  cfg.geom.sets = 4;
+  cfg.geom.ways = 2;
+  cfg.geom.line_bytes = 64;
+  cfg.geom.index = IndexFunction::kLinear;
+  cfg.mshr_entries = 4;
+  cfg.mshr_max_merged = 2;
+  cfg.miss_queue_entries = 4;
+  return cfg;
+}
+
+MemAccess Load(Addr addr, Pc pc = 1, MshrToken token = 7) {
+  return MemAccess{addr, AccessType::kLoad, pc, token};
+}
+
+/// Runs the fill for the oracle's next outgoing read.
+void ServiceNextMiss(OracleL1D& oracle) {
+  ASSERT_TRUE(oracle.HasOutgoing());
+  const OracleOutgoing out = oracle.PopOutgoing();
+  ASSERT_FALSE(out.write);
+  std::vector<MshrToken> woken;
+  oracle.Fill(out.block, out.no_fill, out.token, woken);
+}
+
+TEST(OracleL1D, MissFillHitSequence) {
+  OracleL1D oracle(SmallConfig(PolicyKind::kBaseline));
+  EXPECT_EQ(oracle.Access(Load(0x100), 0), AccessResult::kMissIssued);
+  ServiceNextMiss(oracle);
+  EXPECT_EQ(oracle.Access(Load(0x100), 1), AccessResult::kHit);
+  EXPECT_EQ(oracle.stats().load_hits, 1u);
+  EXPECT_EQ(oracle.stats().load_misses, 1u);
+  EXPECT_EQ(oracle.stats().misses_issued, 1u);
+  EXPECT_EQ(oracle.stats().fills, 1u);
+}
+
+TEST(OracleL1D, MergedMissDoesNotReissue) {
+  OracleL1D oracle(SmallConfig(PolicyKind::kBaseline));
+  EXPECT_EQ(oracle.Access(Load(0x100, 1, 1), 0), AccessResult::kMissIssued);
+  EXPECT_EQ(oracle.Access(Load(0x100, 2, 2), 1), AccessResult::kMissMerged);
+  EXPECT_EQ(oracle.outgoing_size(), 1u);  // one read for both accesses
+  std::vector<MshrToken> woken;
+  const OracleOutgoing out = oracle.PopOutgoing();
+  oracle.Fill(out.block, out.no_fill, out.token, woken);
+  // Both tokens wake, allocation first.
+  ASSERT_EQ(woken.size(), 2u);
+  EXPECT_EQ(woken[0], 1u);
+  EXPECT_EQ(woken[1], 2u);
+}
+
+TEST(OracleL1D, LruVictimIsLeastRecentlyUsed) {
+  OracleL1D oracle(SmallConfig(PolicyKind::kBaseline));
+  // Set 0 holds blocks at addr 0x000 and 0x100 (sets=4, line=64:
+  // block 0 -> set 0, block 4 -> set 0). Fill both ways.
+  EXPECT_EQ(oracle.Access(Load(0x000), 0), AccessResult::kMissIssued);
+  ServiceNextMiss(oracle);
+  EXPECT_EQ(oracle.Access(Load(0x100), 1), AccessResult::kMissIssued);
+  ServiceNextMiss(oracle);
+  // Touch 0x000 so 0x100 becomes LRU, then miss a third block in set 0.
+  EXPECT_EQ(oracle.Access(Load(0x000), 2), AccessResult::kHit);
+  EXPECT_EQ(oracle.Access(Load(0x200), 3), AccessResult::kMissIssued);
+  ServiceNextMiss(oracle);
+  // 0x100 must be gone; 0x000 must still hit.
+  EXPECT_EQ(oracle.Access(Load(0x000), 4), AccessResult::kHit);
+  EXPECT_EQ(oracle.Access(Load(0x100), 5), AccessResult::kMissIssued);
+}
+
+TEST(OracleL1D, StallBypassBypassesWhenMshrsExhausted) {
+  L1DConfig cfg = SmallConfig(PolicyKind::kStallBypass);
+  cfg.mshr_entries = 1;
+  OracleL1D oracle(cfg);
+  EXPECT_EQ(oracle.Access(Load(0x000, 1, 1), 0), AccessResult::kMissIssued);
+  // Different set, no free MSHR: Stall-Bypass must bypass, not stall.
+  EXPECT_EQ(oracle.Access(Load(0x040, 1, 2), 1), AccessResult::kBypassed);
+  EXPECT_EQ(oracle.stats().bypasses, 1u);
+  // Baseline under the same pressure stalls instead.
+  cfg.policy = PolicyKind::kBaseline;
+  OracleL1D baseline(cfg);
+  EXPECT_EQ(baseline.Access(Load(0x000, 1, 1), 0), AccessResult::kMissIssued);
+  EXPECT_EQ(baseline.Access(Load(0x040, 1, 2), 1),
+            AccessResult::kReservationFail);
+  EXPECT_EQ(baseline.stats().reservation_fails, 1u);
+}
+
+TEST(OracleL1D, WriteEvictStoreHitInvalidates) {
+  L1DConfig cfg = SmallConfig(PolicyKind::kBaseline);
+  cfg.write_policy = WritePolicy::kWriteEvict;
+  OracleL1D oracle(cfg);
+  EXPECT_EQ(oracle.Access(Load(0x000), 0), AccessResult::kMissIssued);
+  ServiceNextMiss(oracle);
+  EXPECT_EQ(oracle.Access(MemAccess{0x000, AccessType::kStore, 1, 0}, 1),
+            AccessResult::kStoreSent);
+  EXPECT_EQ(oracle.stats().store_invalidates, 1u);
+  // The line is gone: the next load misses.
+  while (oracle.HasOutgoing()) oracle.PopOutgoing();
+  EXPECT_EQ(oracle.Access(Load(0x000), 2), AccessResult::kMissIssued);
+}
+
+TEST(OracleL1D, ProtectionStampsPdOnReserve) {
+  // Global protection with a forced PD: a reserved line carries PL = PD.
+  L1DConfig cfg = SmallConfig(PolicyKind::kGlobalProtection);
+  OracleL1D oracle(cfg);
+  EXPECT_EQ(oracle.Access(Load(0x000), 0), AccessResult::kMissIssued);
+  const auto set_image = oracle.SetImage(0);
+  ASSERT_EQ(set_image.size(), 1u);
+  // Fresh table: PD 0 everywhere, so PL must stamp to 0.
+  EXPECT_EQ(set_image[0].protected_life, 0u);
+  EXPECT_EQ(oracle.PdImage().size(), 1u);  // single global entry
+}
+
+}  // namespace
+}  // namespace dlpsim::verify
