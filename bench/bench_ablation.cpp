@@ -93,13 +93,12 @@ int main() {
       variants.size() * num_apps, [&](std::size_t i) {
         const Variant& v = variants[i / num_apps];
         const std::string& app = kApps[i % num_apps];
-        const auto t0 = std::chrono::steady_clock::now();
+        const exec::Stopwatch cell_clock;
         const double r = RunDlp(app, v.prot);
-        const auto t1 = std::chrono::steady_clock::now();
         exec::TimingCell cell;
         cell.app = app;
         cell.config = v.name;
-        cell.seconds = std::chrono::duration<double>(t1 - t0).count();
+        cell.seconds = cell_clock.Seconds();
         bench::Timing().Record(std::move(cell));
         return r;
       });

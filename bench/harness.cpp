@@ -22,6 +22,7 @@
 #include "obs/trace_sink.h"
 #include "robust/fault.h"
 #include "robust/watchdog.h"
+#include "sim/env.h"
 #include "workloads/registry.h"
 
 namespace dlpsim::bench {
@@ -37,22 +38,16 @@ constexpr const char* kCacheVersion = "v2";
 // but entries from other writers stay verifiable).
 constexpr const char* kCacheFooter = "#complete";
 
-std::string CacheDir() {
-  if (const char* env = std::getenv("DLPSIM_CACHE_DIR")) return env;
-  return ".dlpsim_cache";
-}
+std::string CacheDir() { return env::Str("DLPSIM_CACHE_DIR", ".dlpsim_cache"); }
 
-bool TraceEnabled() {
-  const char* env = std::getenv("DLPSIM_TRACE");
-  return env != nullptr && std::string(env) != "0" && std::string(env) != "";
-}
+bool TraceEnabled() { return env::Flag("DLPSIM_TRACE"); }
 
 const char* FaultSpec() {
-  const char* env = std::getenv("DLPSIM_FAULTS");
-  if (env == nullptr || *env == '\0' || std::string(env) == "0") {
+  const char* spec = env::Raw("DLPSIM_FAULTS");
+  if (spec == nullptr || *spec == '\0' || std::string(spec) == "0") {
     return nullptr;
   }
-  return env;
+  return spec;
 }
 
 bool FaultsEnabled() { return FaultSpec() != nullptr; }
@@ -62,34 +57,22 @@ bool FaultsEnabled() { return FaultSpec() != nullptr; }
 // faulty results must never poison the shared cache, and a clean cached
 // result must never stand in for the faulty run under test.
 bool CacheEnabled() {
-  return std::getenv("DLPSIM_NOCACHE") == nullptr && !TraceEnabled() &&
-         !FaultsEnabled();
+  return !env::IsSet("DLPSIM_NOCACHE") && !TraceEnabled() && !FaultsEnabled();
 }
 
 std::string TraceOutDir() {
-  if (const char* env = std::getenv("DLPSIM_TRACE_OUT")) return env;
-  return "dlpsim_trace";
+  return env::Str("DLPSIM_TRACE_OUT", "dlpsim_trace");
 }
 
+// Timing artifacts default under the build tree (DLPSIM_DEFAULT_TIMING_DIR
+// is injected by bench/CMakeLists.txt) so ad-hoc bench runs never litter
+// the source tree; DLPSIM_TIMING_DIR still overrides for CI artifacts.
 std::string TimingDir() {
-  if (const char* env = std::getenv("DLPSIM_TIMING_DIR")) return env;
-  return ".";
-}
-
-std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
-  if (const char* env = std::getenv(name)) {
-    const std::uint64_t v = std::strtoull(env, nullptr, 10);
-    if (v > 0) return v;
-  }
-  return fallback;
-}
-
-double EnvDouble(const char* name, double fallback) {
-  if (const char* env = std::getenv(name)) {
-    const double v = std::atof(env);
-    if (v > 0.0) return v;
-  }
-  return fallback;
+#ifdef DLPSIM_DEFAULT_TIMING_DIR
+  return env::Str("DLPSIM_TIMING_DIR", DLPSIM_DEFAULT_TIMING_DIR);
+#else
+  return env::Str("DLPSIM_TIMING_DIR", ".");
+#endif
 }
 
 // Grid cells that exhausted their retries in RunGrid (process-wide, like
@@ -98,13 +81,7 @@ double EnvDouble(const char* name, double fallback) {
 std::atomic<std::size_t> g_failed_cells{0};
 }  // namespace
 
-double Scale() {
-  if (const char* env = std::getenv("DLPSIM_SCALE")) {
-    const double s = std::atof(env);
-    if (s > 0.0) return s;
-  }
-  return 1.0;
-}
+double Scale() { return env::PositiveDouble("DLPSIM_SCALE", 1.0); }
 
 const std::vector<std::string>& ConfigNames() {
   static const std::vector<std::string> kNames = {"base", "sb",   "gp",
@@ -275,8 +252,8 @@ RunResult SimulateUncached(const std::string& abbr, const std::string& config,
   profiler.AttachTo(gpu);
 
   const bool tracing = TraceEnabled();
-  TraceSink sink(EnvU64("DLPSIM_TRACE_EVENTS", 1u << 20));
-  TimelineSampler timeline(EnvU64("DLPSIM_TRACE_INTERVAL", 5000));
+  TraceSink sink(env::U64("DLPSIM_TRACE_EVENTS", 1u << 20));
+  TimelineSampler timeline(env::U64("DLPSIM_TRACE_INTERVAL", 5000));
   if (tracing) {
     gpu.SetTraceSink(&sink);
     gpu.SetTimeline(&timeline);
@@ -297,7 +274,7 @@ RunResult SimulateUncached(const std::string& abbr, const std::string& config,
     gpu.SetFaultInjector(injector.get());
   }
   std::unique_ptr<robust::Watchdog> watchdog;
-  if (const std::uint64_t stall = EnvU64("DLPSIM_WATCHDOG", 0); stall > 0) {
+  if (const std::uint64_t stall = env::U64("DLPSIM_WATCHDOG", 0); stall > 0) {
     watchdog = std::make_unique<robust::Watchdog>(
         robust::WatchdogConfig{/*check_interval=*/1024,
                                /*stall_cycles=*/stall});
@@ -435,13 +412,12 @@ RunResult LoadOrSimulate(const std::string& abbr, const std::string& config,
     }
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const exec::Stopwatch cell_clock;
   RunResult r = SimulateUncached(abbr, config, scale);
-  const auto t1 = std::chrono::steady_clock::now();
   exec::TimingCell cell;
   cell.app = abbr;
   cell.config = config;
-  cell.seconds = std::chrono::duration<double>(t1 - t0).count();
+  cell.seconds = cell_clock.Seconds();
   Timing().Record(std::move(cell));
 
   if (CacheEnabled()) StoreCacheFile(path, r);
@@ -537,7 +513,7 @@ std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
   // recorded as a structured failure instead of aborting its siblings.
   // Its result slot stays value-initialized so tables keep their shape.
   exec::RetryPolicy retry;
-  retry.timeout_seconds = EnvDouble("DLPSIM_JOB_TIMEOUT", 0.0);
+  retry.timeout_seconds = env::PositiveDouble("DLPSIM_JOB_TIMEOUT", 0.0);
   exec::GridRun<RunResult> run = exec::TryRunJobs(
       grid, [scale](const exec::Job& j) { return Run(j.app, j.config, scale); },
       retry, jobs);

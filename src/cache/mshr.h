@@ -6,6 +6,7 @@
 // reservation-failure stall reasons in the L1D pipeline.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -53,13 +54,16 @@ class MshrTable {
     return it == table_.end() ? 0 : it->second.size();
   }
 
-  /// All blocks with in-flight entries, in unspecified order. Used by the
-  /// invariant checker (robust/) to cross-check the MSHR against the tag
-  /// array's RESERVED lines.
+  /// All blocks with in-flight entries, in ascending address order. Used
+  /// by the invariant checker (robust/) to cross-check the MSHR against
+  /// the tag array's RESERVED lines; sorted so any consumer that prints
+  /// or compares the list stays deterministic.
   std::vector<Addr> Blocks() const {
     std::vector<Addr> out;
     out.reserve(table_.size());
-    for (const auto& [block, _] : table_) out.push_back(block);
+    // Hash-order iteration is washed out by the sort below.
+    for (const auto& [block, _] : table_) out.push_back(block);  // NOLINT(dlp-d1)
+    std::sort(out.begin(), out.end());
     return out;
   }
 

@@ -54,7 +54,10 @@ CacheLine TagArray::Reserve(std::uint32_t set, std::uint32_t way, Addr block,
   line.alloc_time = use_clock_;
   line.src_pc = pc;
   line.insn_id = 0;
-  line.protected_life = 0;
+  // Lifecycle reset on (re)allocation, not the Fig. 9 update flow: a
+  // RESERVED line always starts unprotected; only core/ policies ever
+  // assign a nonzero PL.
+  line.protected_life = 0;  // NOLINT(dlp-i1)
   return previous;
 }
 

@@ -1,7 +1,8 @@
 #include "exec/run_grid.h"
 
-#include <cstdlib>
 #include <thread>
+
+#include "sim/env.h"
 
 namespace dlpsim::exec {
 
@@ -18,10 +19,8 @@ std::vector<Job> Grid(const std::vector<std::string>& apps,
 }
 
 std::size_t DefaultJobs() {
-  if (const char* env = std::getenv("DLPSIM_JOBS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  if (const std::uint64_t jobs = env::U64("DLPSIM_JOBS", 0); jobs > 0) {
+    return static_cast<std::size_t>(jobs);
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : hc;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "exec/timing.h"
 
 namespace dlpsim::exec {
 
@@ -147,13 +148,10 @@ auto TryRunJobs(const std::vector<Job>& grid, Fn&& fn,
             std::this_thread::sleep_for(std::chrono::duration<double>(
                 retry.backoff_seconds * static_cast<double>(1 << (attempt - 2))));
           }
-          const auto t0 = std::chrono::steady_clock::now();
+          const Stopwatch attempt_clock;
           try {
             R result = fn(grid[i]);
-            const double secs =
-                std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              t0)
-                    .count();
+            const double secs = attempt_clock.Seconds();
             if (retry.timeout_seconds > 0.0 && secs > retry.timeout_seconds) {
               timed_out = true;
               last_error = "attempt took " + std::to_string(secs) +

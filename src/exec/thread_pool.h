@@ -9,6 +9,11 @@
 // needing *per-task* exception identity still capture std::exception_ptr
 // inside the task (exec::ParallelMap does); the pool-level capture is the
 // backstop for tasks submitted without such wrapping.
+//
+// dlp-lint: internal-header -- the pool is an implementation detail of
+// the executor; other subsystems use exec::ParallelMap / exec::RunJobs
+// (run_grid.h) instead of scheduling on the pool directly (enforced by
+// dlp_lint rule I2).
 #pragma once
 
 #include <condition_variable>

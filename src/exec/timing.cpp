@@ -9,10 +9,7 @@ void TimingLog::Record(TimingCell cell) {
   cells_.push_back(std::move(cell));
 }
 
-double TimingLog::ElapsedSeconds() const {
-  const auto now = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(now - start_).count();
-}
+double TimingLog::ElapsedSeconds() const { return lifetime_.Seconds(); }
 
 std::vector<TimingCell> TimingLog::cells() const {
   std::lock_guard<std::mutex> lock(mu_);

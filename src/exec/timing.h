@@ -16,6 +16,28 @@
 
 namespace dlpsim::exec {
 
+/// Monotonic wall-clock stopwatch. This file is the project's only
+/// sanctioned clock source (dlp_lint rule D2 rejects *_clock::now()
+/// elsewhere): wall time is telemetry, never simulation input, so every
+/// measurement flows through here where it is visibly kept away from
+/// simulated state.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 struct TimingCell {
   std::string app;
   std::string config;
@@ -32,7 +54,7 @@ struct TimingCell {
 
 class TimingLog {
  public:
-  TimingLog() : start_(std::chrono::steady_clock::now()) {}
+  TimingLog() = default;
 
   void Record(TimingCell cell);
 
@@ -54,7 +76,7 @@ class TimingLog {
 
  private:
   mutable std::mutex mu_;
-  std::chrono::steady_clock::time_point start_;
+  Stopwatch lifetime_;
   std::vector<TimingCell> cells_;
 };
 

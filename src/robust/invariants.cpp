@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <cstdlib>
 #include <sstream>
 #include <unordered_set>
 
 #include "core/l1d_cache.h"
 #include "gpu/simulator.h"
+#include "sim/env.h"
 
 namespace dlpsim::robust {
 
@@ -183,9 +183,10 @@ void InvariantChecker::CheckAll(const GpuSimulator& gpu, Cycle now) {
 }
 
 bool ChecksEnabledByEnv() {
-  if (const char* v = std::getenv("DLPSIM_CHECK"); v != nullptr) {
-    return *v != '\0' && std::string(v) != "0";
-  }
+  // Tri-state: an explicit DLPSIM_CHECK always wins (so =0 can force the
+  // checker off even in DLPSIM_CHECKED builds); unset falls back to the
+  // build-time default.
+  if (env::IsSet("DLPSIM_CHECK")) return env::Flag("DLPSIM_CHECK");
 #ifdef DLPSIM_CHECKED
   return true;
 #else

@@ -1,0 +1,39 @@
+#include "sim/env.h"
+
+#include <cstdlib>
+
+namespace dlpsim::env {
+
+const char* Raw(const char* name) { return std::getenv(name); }
+
+bool IsSet(const char* name) { return Raw(name) != nullptr; }
+
+bool Flag(const char* name) {
+  const char* v = Raw(name);
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::string Str(const char* name, const char* fallback) {
+  const char* v = Raw(name);
+  return v != nullptr ? v : fallback;
+}
+
+std::uint64_t U64(const char* name, std::uint64_t fallback) {
+  if (const char* v = Raw(name)) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != v && parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+double PositiveDouble(const char* name, double fallback) {
+  if (const char* v = Raw(name)) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end != v && parsed > 0.0) return parsed;
+  }
+  return fallback;
+}
+
+}  // namespace dlpsim::env

@@ -98,9 +98,12 @@ void OracleL1D::EndSampleFig9() {
       } else if (2 * e.vta_hits >= e.tda_hits) {
         adj = nasc_ / 2;
       }
-      e.pd += adj;
+      // Independent reference implementation: the differential oracle
+      // deliberately re-implements the Fig. 9 PD/PL update outside
+      // src/core/ so divergence from the real cache is detectable.
+      e.pd += adj;               // NOLINT(dlp-i1)
       if (e.pd > pd_max_ && bug_ != OracleBug::kPdIncreaseNoClamp) {
-        e.pd = pd_max_;
+        e.pd = pd_max_;          // NOLINT(dlp-i1)
       }
     }
   } else if (2 * global_vta_hits_ < global_tda_hits_) {
@@ -108,6 +111,7 @@ void OracleL1D::EndSampleFig9() {
     const std::uint32_t dec =
         bug_ == OracleBug::kPdDecreaseOffByOne ? nasc_ - 1 : nasc_;
     for (PdptEntry& e : pdpt_) {
+      // NOLINTNEXTLINE(dlp-i1): independent reference implementation.
       e.pd = e.pd > dec ? e.pd - dec : 0;
     }
   }
@@ -122,6 +126,7 @@ void OracleL1D::EndSampleFig9() {
 void OracleL1D::Stamp(Line& line, Pc pc) {
   const std::uint32_t id = InsnIdOf(pc);
   line.insn_id = id;
+  // NOLINTNEXTLINE(dlp-i1): independent reference implementation.
   line.pl = pdpt_[id].pd;
 }
 
@@ -186,6 +191,7 @@ void OracleL1D::EvictInto(std::uint32_t set, Line& victim, Addr block,
   victim.stamp = ++recency_;
   victim.src_pc = pc;
   victim.insn_id = 0;
+  // NOLINTNEXTLINE(dlp-i1): independent reference implementation.
   victim.pl = 0;
 }
 

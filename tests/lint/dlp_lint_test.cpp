@@ -1,0 +1,189 @@
+// Tests for the dlp_lint static analyzer itself, driven by the planted
+// fixture tree at tests/lint/fixtures/ (one *_bad file per rule with
+// violations at known lines, plus clean counterparts). The assertions pin
+// exact (rule id, line) sets so a lexer or rule regression shows up as a
+// precise diff, not just a changed count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dlp_lint/lint.h"
+
+namespace {
+
+using dlplint::DocSet;
+using dlplint::Finding;
+using dlplint::LintOptions;
+
+#ifndef DLPSIM_LINT_FIXTURE_DIR
+#error "build must define DLPSIM_LINT_FIXTURE_DIR"
+#endif
+
+std::string Fixture(const std::string& rel) {
+  return std::string(DLPSIM_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+LintOptions FixtureOptions() {
+  LintOptions opts;
+  opts.docs = dlplint::LoadDocs(Fixture("docs"));
+  return opts;
+}
+
+// Lints the given fixture-relative paths (with the fixture docs loaded)
+// and returns (line, rule) pairs for findings whose path ends in `keep`
+// (empty keep = all findings).
+std::vector<std::pair<int, std::string>> LintFixture(
+    const std::vector<std::string>& rels, const std::string& keep = "",
+    bool with_docs = true) {
+  std::vector<std::string> paths;
+  paths.reserve(rels.size());
+  for (const std::string& r : rels) paths.push_back(Fixture(r));
+  std::string error;
+  const LintOptions opts = with_docs ? FixtureOptions() : LintOptions{};
+  const std::vector<Finding> findings = dlplint::LintPaths(paths, opts, &error);
+  EXPECT_EQ(error, "");
+  std::vector<std::pair<int, std::string>> got;
+  for (const Finding& f : findings) {
+    if (!keep.empty() &&
+        f.path.find(keep) == std::string::npos) {
+      continue;
+    }
+    got.emplace_back(f.line, f.rule);
+  }
+  return got;
+}
+
+using Expected = std::vector<std::pair<int, std::string>>;
+
+TEST(DlpLintD1, FlagsUnorderedIterationAtPlantedLines) {
+  EXPECT_EQ(LintFixture({"d1_bad.cpp"}),
+            (Expected{{12, "D1"}, {18, "D1"}, {24, "D1"}}));
+}
+
+TEST(DlpLintD1, OrderedIterationAndLookupsAreClean) {
+  EXPECT_TRUE(LintFixture({"d1_clean.cpp"}).empty());
+}
+
+TEST(DlpLintD2, FlagsClocksAndEntropyAtPlantedLines) {
+  EXPECT_EQ(LintFixture({"d2_bad.cpp"}),
+            (Expected{{10, "D2"}, {12, "D2"}, {15, "D2"}, {17, "D2"}}));
+}
+
+TEST(DlpLintD2, SeededGeneratorsAndDurationsAreClean) {
+  EXPECT_TRUE(LintFixture({"d2_clean.cpp"}).empty());
+}
+
+TEST(DlpLintD3, FlagsPointerKeysAtPlantedLines) {
+  EXPECT_EQ(LintFixture({"d3_bad.cpp"}),
+            (Expected{{10, "D3"}, {12, "D3"}}));
+}
+
+TEST(DlpLintD3, StableIdKeysAreClean) {
+  EXPECT_TRUE(LintFixture({"d3_clean.cpp"}).empty());
+}
+
+TEST(DlpLintS1, FlagsDirectGetenvAtPlantedLines) {
+  EXPECT_EQ(LintFixture({"s1_bad.cpp"}),
+            (Expected{{9, "S1"}, {13, "S1"}}));
+}
+
+TEST(DlpLintS1, FlagsKnobMissingFromOneDoc) {
+  // DLPSIM_README_ONLY appears in the fixture README but not in the
+  // fixture EXPERIMENTS.md; the read goes through env:: so the only
+  // finding is the documentation gap.
+  std::string error;
+  const std::vector<Finding> findings = dlplint::LintPaths(
+      {Fixture("s1_doc_bad.cpp")}, FixtureOptions(), &error);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "S1");
+  EXPECT_EQ(findings[0].line, 13);
+  EXPECT_NE(findings[0].message.find("DLPSIM_README_ONLY"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("EXPERIMENTS.md"), std::string::npos);
+}
+
+TEST(DlpLintS1, DocHalfIsSkippedWhenDocsAreNotLoaded) {
+  // Without a doc corpus the cross-check cannot run; the config-layer
+  // half still applies but s1_doc_bad.cpp reads via env::.
+  EXPECT_TRUE(
+      LintFixture({"s1_doc_bad.cpp"}, "", /*with_docs=*/false).empty());
+}
+
+TEST(DlpLintS1, DocumentedMentionsOutsideReadSitesAreClean) {
+  EXPECT_TRUE(LintFixture({"s1_clean.cpp"}).empty());
+}
+
+TEST(DlpLintI1, FlagsProtectionWritesAtPlantedLines) {
+  EXPECT_EQ(LintFixture({"i1_bad.cpp"}),
+            (Expected{{17, "I1"}, {18, "I1"}, {21, "I1"}, {24, "I1"}}));
+}
+
+TEST(DlpLintI1, SameWritesUnderSrcCoreAreAllowed) {
+  EXPECT_TRUE(LintFixture({"src/core/i1_allowed.cpp"}).empty());
+}
+
+TEST(DlpLintI2, FlagsIncludeHygieneAtPlantedLines) {
+  // I2's internal-header half needs cross-file state, so lint the whole
+  // fixture src tree and keep only i2_bad.cpp findings.
+  EXPECT_EQ(LintFixture({"src"}, "i2_bad.cpp"),
+            (Expected{{5, "I2"}, {7, "I2"}, {9, "I2"}}));
+}
+
+TEST(DlpLintI2, PublicAndSameSubsystemIncludesAreClean) {
+  EXPECT_TRUE(LintFixture({"src"}, "i2_clean.cpp").empty());
+}
+
+TEST(DlpLintSuppression, NolintAndNolintnextlineSilenceFindings) {
+  // suppressed.cpp plants a D1, a D2 (via NOLINTNEXTLINE), a D3 (bare
+  // NOLINT) and an I1 (multi-rule list); all must be silenced.
+  EXPECT_TRUE(LintFixture({"suppressed.cpp"}).empty());
+}
+
+TEST(DlpLintWholeTree, FixtureSweepMatchesPlantedSet) {
+  const auto got = LintFixture({"."});
+  // 19 findings: 3 D1 + 4 D2 + 2 D3 + 3 S1 + 4 I1 + 3 I2.
+  EXPECT_EQ(got.size(), 19u);
+  std::set<std::string> rules;
+  for (const auto& [line, rule] : got) rules.insert(rule);
+  EXPECT_EQ(rules,
+            (std::set<std::string>{"D1", "D2", "D3", "S1", "I1", "I2"}));
+}
+
+TEST(DlpLintLexer, PatternsInsideStringLiteralsDoNotFire) {
+  const dlplint::SourceFile f = dlplint::Lex(
+      "lex_fixture.cpp",
+      "const char* s = \"time(0) rand() unordered_map\";\n"
+      "// rand() in a comment is also fine\n");
+  const std::vector<Finding> findings = dlplint::Lint({f}, LintOptions{});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DlpLintApi, RuleTableCoversAllSixRules) {
+  std::vector<std::string> ids;
+  for (const dlplint::RuleInfo& r : dlplint::Rules()) {
+    ids.push_back(r.id);
+    EXPECT_NE(std::string(r.summary), "");
+    EXPECT_NE(std::string(r.rationale), "");
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "I1", "I2",
+                                           "S1"}));
+}
+
+TEST(DlpLintApi, JsonOutputCarriesRulePathLineMessage) {
+  std::string error;
+  const std::vector<Finding> findings = dlplint::LintPaths(
+      {Fixture("d3_bad.cpp")}, LintOptions{}, &error);
+  ASSERT_EQ(findings.size(), 2u);
+  const std::string json = dlplint::FormatJson(findings);
+  EXPECT_NE(json.find("\"rule\": \"D3\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 12"), std::string::npos);
+  EXPECT_NE(json.find("d3_bad.cpp"), std::string::npos);
+}
+
+}  // namespace

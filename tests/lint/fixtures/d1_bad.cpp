@@ -1,0 +1,27 @@
+// dlp_lint fixture: D1 violations (unordered-container iteration).
+// Planted violations: lines 12, 18, 24 (asserted by dlp_lint_test.cpp).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+void Exporter() {
+  std::unordered_map<std::uint64_t, int> stats;
+  stats[1] = 2;
+  long total = 0;
+  for (const auto& [addr, count] : stats) {  // line 12: D1 range-for
+    total += count;
+  }
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.insert(7);
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // line 18: D1
+    total += *it;
+  }
+
+  std::vector<int> out;
+  // Inline unordered temporary in the range position:
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // line 24: D1
+    out.push_back(v + static_cast<int>(total));
+  }
+}

@@ -1,0 +1,26 @@
+// dlp_lint fixture: clean counterpart to d1_bad.cpp. Ordered-container
+// iteration and membership-only use of unordered containers are fine.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+long Exporter() {
+  std::map<std::uint64_t, int> stats;  // ordered: deterministic iteration
+  stats[1] = 2;
+  long total = 0;
+  for (const auto& [addr, count] : stats) {
+    total += count;
+  }
+
+  // Unordered lookup tables are fine as long as nothing iterates them.
+  std::unordered_map<std::uint64_t, int> memo;
+  memo[3] = 4;
+  auto it = memo.find(3);
+  if (it != memo.end()) total += it->second;
+  total += static_cast<long>(memo.size());
+
+  std::vector<int> linear{1, 2, 3};
+  for (int v : linear) total += v;
+  return total;
+}

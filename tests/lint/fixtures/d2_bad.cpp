@@ -1,0 +1,20 @@
+// dlp_lint fixture: D2 violations (wall clocks / ambient entropy).
+// Planted violations: lines 10, 12, 15, 17 (asserted by dlp_lint_test.cpp).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned Nondeterministic() {
+  unsigned x = 0;
+  x += static_cast<unsigned>(rand());  // line 10: D2 ambient entropy
+
+  std::random_device rd;  // line 12: D2 hardware entropy
+  x += rd();
+
+  x += static_cast<unsigned>(time(nullptr));  // line 15: D2 wall clock
+
+  const auto t = std::chrono::steady_clock::now();  // line 17: D2 clock
+  x += static_cast<unsigned>(t.time_since_epoch().count());
+  return x;
+}

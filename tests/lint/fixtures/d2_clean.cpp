@@ -1,0 +1,20 @@
+// dlp_lint fixture: clean counterpart to d2_bad.cpp. Seeded generators
+// and chrono *durations* (no clock reads) are deterministic and fine.
+#include <chrono>
+#include <random>
+
+unsigned Deterministic(unsigned seed) {
+  std::mt19937 gen(seed);  // seeded from config/trace: replayable
+  unsigned x = gen();
+
+  // Duration arithmetic involves no clock read.
+  const std::chrono::milliseconds backoff(50);
+  x += static_cast<unsigned>(backoff.count());
+
+  // Identifiers that merely contain the banned tokens do not trip the
+  // word-boundary matcher.
+  const unsigned alloc_time = 3;
+  unsigned operand = alloc_time;
+  x += operand;
+  return x;
+}

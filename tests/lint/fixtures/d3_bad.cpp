@@ -1,0 +1,15 @@
+// dlp_lint fixture: D3 violations (pointer values as container keys).
+// Planted violations: lines 10, 12 (asserted by dlp_lint_test.cpp).
+#include <map>
+#include <set>
+
+struct Warp {};
+
+void PointerKeyed() {
+  // Ordered by address: iteration order depends on allocation/ASLR.
+  std::map<Warp*, int> per_warp;  // line 10: D3 pointer key
+
+  std::set<const Warp*> active;  // line 12: D3 pointer key
+  (void)per_warp;
+  (void)active;
+}

@@ -1,0 +1,17 @@
+// dlp_lint fixture: clean counterpart to d3_bad.cpp. Keying by a stable
+// id (and pointer *values*, not keys) is deterministic and fine.
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Warp {
+  std::uint32_t id = 0;
+};
+
+void IdKeyed(Warp* w) {
+  std::map<std::uint32_t, Warp*> per_warp;  // pointer value, stable key
+  per_warp[w->id] = w;
+
+  std::set<std::uint64_t> active_ids;
+  active_ids.insert(w->id);
+}

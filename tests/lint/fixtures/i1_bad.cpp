@@ -1,0 +1,25 @@
+// dlp_lint fixture: I1 violations (protection-state writes outside
+// src/core/). This file is NOT under a src/core/ path, so every write to
+// the protection fields is flagged.
+// Planted violations: lines 17, 18, 21, 24 (asserted by dlp_lint_test.cpp).
+#include <cstdint>
+
+struct Line {
+  std::uint8_t protected_life = 0;
+  std::uint8_t pl = 0;
+};
+
+struct PdptEntry {
+  std::uint32_t pd = 0;
+};
+
+void Mutate(Line& line, PdptEntry& e) {
+  line.protected_life = 3;  // line 17: I1 direct assignment
+  line.pl += 1;             // line 18: I1 compound assignment
+
+  PdptEntry* p = &e;
+  p->pd = 7;  // line 21: I1 via pointer member access
+
+  // Increment is still a write.
+  e.pd++;  // line 24: I1
+}

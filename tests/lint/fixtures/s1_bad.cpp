@@ -1,0 +1,15 @@
+// dlp_lint fixture: S1 violations (env access outside the config layer,
+// undocumented knob names).
+// Planted violations: lines 9, 13 (asserted by dlp_lint_test.cpp).
+#include <cstdlib>
+#include <string>
+
+std::string ReadKnobs() {
+  // Direct getenv outside src/sim/env.*: bypasses the config layer.
+  const char* raw = std::getenv("DLPSIM_DOCUMENTED");  // line 9: S1
+
+  // Knob name that appears in no doc file: undiscoverable by users.
+  // line 13: S1 (undocumented DLPSIM_* name at a getenv call site)
+  const char* ghost = getenv("DLPSIM_UNDOCUMENTED_KNOB");
+  return std::string(raw ? raw : "") + (ghost ? ghost : "");
+}

@@ -1,0 +1,10 @@
+// dlp_lint fixture: clean counterpart to s1_bad.cpp. Mentioning a
+// documented knob name away from any getenv call is fine, and code that
+// never touches the environment is fine.
+#include <string>
+
+std::string Banner() {
+  // DLPSIM_DOCUMENTED is covered by fixtures/docs/README.md and
+  // fixtures/docs/EXPERIMENTS.md; referring to it in messages is fine.
+  return "set DLPSIM_DOCUMENTED=1 to enable the documented knob";
+}

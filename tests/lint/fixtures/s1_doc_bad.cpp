@@ -1,0 +1,14 @@
+// dlp_lint fixture: S1 doc cross-check in isolation. Reads go through the
+// config layer (no direct-getenv finding), but one knob is documented only
+// in the fixture README, not in EXPERIMENTS.md.
+// Planted violation: line 13 (asserted by dlp_lint_test.cpp).
+
+namespace env {
+const char* Raw(const char* name);
+}
+
+void ReadViaConfigLayer() {
+  // Documented in both fixture docs: clean.
+  (void)env::Raw("DLPSIM_DOCUMENTED");
+  (void)env::Raw("DLPSIM_README_ONLY");  // line 13: S1 (doc gap)
+}

@@ -1,0 +1,8 @@
+// dlp-lint: internal-header -- private to the alpha fixture subsystem.
+// Including it from inside alpha is fine; reaching in from elsewhere is
+// an I2 violation.
+#pragma once
+
+namespace alpha_fixture {
+inline int AlphaDetail() { return 7; }
+}  // namespace alpha_fixture

@@ -1,0 +1,11 @@
+// dlp_lint fixture: I2 violations (include hygiene).
+// Planted violations: lines 5, 7, 9 (asserted by dlp_lint_test.cpp).
+
+// Cross-subsystem reach into beta's marked internal header:
+#include "beta/impl_internal.h"  // line 5: I2
+// Including a translation unit:
+#include "beta/impl.cpp"  // line 7: I2
+// Relative include escaping the subsystem layout:
+#include "../beta/impl_internal.h"  // line 9: I2
+
+int UsesBetaInternals() { return beta_fixture::InternalDetail(); }

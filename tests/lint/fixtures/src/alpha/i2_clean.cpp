@@ -1,0 +1,14 @@
+// dlp_lint fixture: clean counterpart to i2_bad.cpp.
+// Expected findings: none.
+
+// Depending on another subsystem's *public* header is fine:
+#include "beta/public.h"
+// A subsystem may include its own internal headers:
+#include "alpha/alpha_internal.h"
+// System includes are never I2 findings:
+#include <vector>
+
+int UsesPublicApi() {
+  std::vector<int> v{alpha_fixture::AlphaDetail()};
+  return beta_fixture::PublicApi() + v.front();
+}

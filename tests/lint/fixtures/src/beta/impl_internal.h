@@ -1,0 +1,7 @@
+// dlp-lint: internal-header -- implementation detail of the beta fixture
+// subsystem; other subsystems must include "beta/public.h" instead.
+#pragma once
+
+namespace beta_fixture {
+inline int InternalDetail() { return 42; }
+}  // namespace beta_fixture

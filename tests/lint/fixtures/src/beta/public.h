@@ -1,0 +1,7 @@
+// Public interface of the beta fixture subsystem (no internal-header
+// marker, so any subsystem may include it).
+#pragma once
+
+namespace beta_fixture {
+int PublicApi();
+}  // namespace beta_fixture

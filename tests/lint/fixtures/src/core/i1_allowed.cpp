@@ -1,0 +1,20 @@
+// dlp_lint fixture: the same protection-state writes as i1_bad.cpp, but
+// this file lives under a src/core/ path, where the DLP state machine is
+// allowed to mutate Line::pl / Line::protected_life / PdptEntry::pd.
+// Expected findings: none.
+#include <cstdint>
+
+struct Line {
+  std::uint8_t protected_life = 0;
+  std::uint8_t pl = 0;
+};
+
+struct PdptEntry {
+  std::uint32_t pd = 0;
+};
+
+void Mutate(Line& line, PdptEntry& e) {
+  line.protected_life = 3;
+  line.pl += 1;
+  e.pd++;
+}

@@ -1,0 +1,31 @@
+// dlp_lint fixture: every planted violation below carries a suppression,
+// so the whole file must lint clean (asserted by dlp_lint_test.cpp).
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+struct Line {
+  std::uint8_t pl = 0;
+};
+
+long Suppressed(Line& line) {
+  std::unordered_map<int, int> stats;
+  stats[1] = 2;
+  long total = 0;
+  // Rule-specific same-line suppression:
+  for (const auto& [k, v] : stats) {  // NOLINT(dlp-d1) order-insensitive sum
+    total += v;
+  }
+
+  // NOLINTNEXTLINE(dlp-d2) fixture exercises the next-line form
+  total += static_cast<long>(rand());
+
+  // Bare NOLINT suppresses every rule on the line:
+  std::map<Line*, int> by_ptr;  // NOLINT
+  (void)by_ptr;
+
+  // Multi-rule suppression lists parse too:
+  line.pl = 1;  // NOLINT(dlp-i1, dlp-d3)
+  return total;
+}

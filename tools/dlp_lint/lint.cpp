@@ -1,0 +1,909 @@
+#include "dlp_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dlplint {
+
+namespace fs = std::filesystem;
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "no iteration over std::unordered_map / std::unordered_set",
+       "iteration order is unspecified and varies across runs; any stats, "
+       "export or trace path built on it breaks DLPSIM_JOBS byte-identity"},
+      {"D2",
+       "no rand()/random_device-as-generator/time()/_clock::now() outside "
+       "src/exec/timing* and src/robust/watchdog*",
+       "replay and resume must be pure functions of the trace and the seed; "
+       "ambient time or entropy makes runs unreproducible"},
+      {"D3", "no pointer values as map/set keys",
+       "ASLR makes pointer ordering a per-run coin flip, so any container "
+       "ordered by addresses is nondeterministic"},
+      {"S1",
+       "read DLPSIM_* knobs through dlpsim::env (src/sim/env.h) and document "
+       "them in README.md and EXPERIMENTS.md",
+       "scattered getenv calls create undocumented knobs that silently fork "
+       "experiment behaviour between machines"},
+      {"I1",
+       "no direct writes to protection state (protected_life/pl/pd members) "
+       "outside src/core/",
+       "the paper's Fig. 9 update flow is the single writer of protection "
+       "state; a second writer desynchronizes the PL counters and the PDPT"},
+      {"I2",
+       "include hygiene: no .cpp includes, no \"../\" paths, no reaching "
+       "into another subsystem's internal headers",
+       "subsystem-internal headers are free to change representation; "
+       "cross-subsystem reach-ins turn that freedom into silent breakage"},
+  };
+  return kRules;
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::string p = fs::path(path).lexically_normal().generic_string();
+  return p;
+}
+
+bool PathHasFragment(const std::string& path, const char* fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+// --- token search ---------------------------------------------------------
+
+/// Finds `token` in `code` at or after `from`, as a full identifier (the
+/// characters around the match are not identifier characters). Returns
+/// npos when absent.
+std::size_t FindToken(const std::string& code, const std::string& token,
+                      std::size_t from = 0) {
+  for (std::size_t pos = code.find(token, from); pos != std::string::npos;
+       pos = code.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+/// True when `code` calls `token` as a free function: `token` is a full
+/// identifier, the next non-space character is '(' and the call is not a
+/// member access (a project method named e.g. `.clock()` is not libc
+/// clock()). `std::` / `::` qualification still matches.
+bool HasCallToken(const std::string& code, const std::string& token) {
+  for (std::size_t pos = FindToken(code, token); pos != std::string::npos;
+       pos = FindToken(code, token, pos + 1)) {
+    if (pos > 0 && (code[pos - 1] == '.' ||
+                    (code[pos - 1] == '>' && pos > 1 && code[pos - 2] == '-'))) {
+      continue;
+    }
+    std::size_t after = pos + token.size();
+    while (after < code.size() && (code[after] == ' ' || code[after] == '\t')) {
+      ++after;
+    }
+    if (after < code.size() && code[after] == '(') return true;
+  }
+  return false;
+}
+
+// --- joined-file view (for constructs that span lines) --------------------
+
+/// Whole-file code text with a map from character offset back to line.
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_starts;  // offset of each line's first char
+
+  int LineOf(std::size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());  // 1-based
+  }
+};
+
+JoinedCode Join(const SourceFile& f) {
+  JoinedCode j;
+  for (const std::string& line : f.code) {
+    j.line_starts.push_back(j.text.size());
+    j.text += line;
+    j.text += '\n';
+  }
+  return j;
+}
+
+/// From the '<' at `open`, returns the offset one past the matching '>'
+/// (angle brackets balanced, parentheses/brackets respected), or npos.
+std::size_t CloseAngle(const std::string& text, std::size_t open) {
+  int angle = 0, paren = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[') ++paren;
+    if (c == ')' || c == ']') --paren;
+    if (paren != 0) continue;
+    if (c == '<') ++angle;
+    if (c == '>') {
+      --angle;
+      if (angle == 0) return i + 1;
+    }
+    if (c == ';') return std::string::npos;  // statement ended: not a template
+  }
+  return std::string::npos;
+}
+
+/// Splits template arguments at top-level commas. `inner` is the text
+/// between the outer '<' and '>'.
+std::vector<std::string> SplitTemplateArgs(const std::string& inner) {
+  std::vector<std::string> args;
+  int depth = 0;
+  std::string cur;
+  for (char c : inner) {
+    if (c == '<' || c == '(' || c == '[') ++depth;
+    if (c == '>' || c == ')' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      args.push_back(Trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!Trim(cur).empty()) args.push_back(Trim(cur));
+  return args;
+}
+
+/// One `container<...>` type use found in the joined text.
+struct TemplateUse {
+  std::string container;         // "unordered_map", "map", ...
+  std::size_t offset = 0;        // of the container token
+  std::size_t after_close = 0;   // one past the matching '>'
+  std::vector<std::string> args; // top-level template arguments
+  std::string declared_name;     // variable declared with this type ("" if none)
+};
+
+/// Scans for uses of any container in `names` as a type head and, where
+/// one declares a variable, extracts the variable name.
+std::vector<TemplateUse> FindContainerUses(
+    const JoinedCode& j, const std::vector<std::string>& names) {
+  std::vector<TemplateUse> uses;
+  for (const std::string& name : names) {
+    const std::string needle = name + "<";
+    for (std::size_t pos = j.text.find(needle); pos != std::string::npos;
+         pos = j.text.find(needle, pos + 1)) {
+      if (pos > 0 && IsIdentChar(j.text[pos - 1])) continue;  // e.g. bitmap<
+      TemplateUse use;
+      use.container = name;
+      use.offset = pos;
+      const std::size_t open = pos + name.size();
+      use.after_close = CloseAngle(j.text, open);
+      if (use.after_close == std::string::npos) continue;
+      use.args = SplitTemplateArgs(
+          j.text.substr(open + 1, use.after_close - open - 2));
+      // Declarator: `unordered_map<K,V> name ...` (skip refs/pointers).
+      std::size_t p = use.after_close;
+      while (p < j.text.size() &&
+             (std::isspace(static_cast<unsigned char>(j.text[p])) != 0 ||
+              j.text[p] == '&' || j.text[p] == '*')) {
+        ++p;
+      }
+      std::size_t name_end = p;
+      while (name_end < j.text.size() && IsIdentChar(j.text[name_end])) {
+        ++name_end;
+      }
+      if (name_end > p) {
+        const std::string ident = j.text.substr(p, name_end - p);
+        // Follow-on character decides declaration vs. other syntax; a
+        // keyword after '>' (e.g. `const`) is close enough to skip.
+        std::size_t q = name_end;
+        while (q < j.text.size() &&
+               std::isspace(static_cast<unsigned char>(j.text[q])) != 0) {
+          ++q;
+        }
+        if (q < j.text.size() &&
+            (j.text[q] == ';' || j.text[q] == '=' || j.text[q] == '{' ||
+             j.text[q] == '(' || j.text[q] == ',' || j.text[q] == ')')) {
+          use.declared_name = ident;
+        }
+      }
+      uses.push_back(use);
+    }
+  }
+  return uses;
+}
+
+// --- suppression ----------------------------------------------------------
+
+/// NOLINT state for one file: line -> set of lower-case rule ids; the
+/// empty string means "all rules" (bare NOLINT).
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;
+
+  bool Covers(int line, const std::string& rule_id) const {
+    auto it = by_line.find(line);
+    if (it == by_line.end()) return false;
+    if (it->second.count("")) return true;
+    std::string lower = "dlp-";
+    for (char c : rule_id) {
+      lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return it->second.count(lower) != 0;
+  }
+};
+
+void ParseNolintList(const std::string& comment, std::size_t open_paren,
+                     std::set<std::string>* out) {
+  const std::size_t close = comment.find(')', open_paren);
+  if (close == std::string::npos) {
+    out->insert("");  // malformed list reads as bare NOLINT: fail safe open
+    return;
+  }
+  std::stringstream ss(comment.substr(open_paren + 1, close - open_paren - 1));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::string t = Trim(item);
+    for (char& c : t) c = static_cast<char>(std::tolower((unsigned char)c));
+    if (!t.empty()) out->insert(t);
+  }
+}
+
+Suppressions CollectSuppressions(const SourceFile& f) {
+  Suppressions s;
+  for (std::size_t i = 0; i < f.comments.size(); ++i) {
+    const std::string& c = f.comments[i];
+    const int line = static_cast<int>(i) + 1;
+    for (const char* tag : {"NOLINTNEXTLINE", "NOLINT"}) {
+      const std::size_t pos = c.find(tag);
+      if (pos == std::string::npos) continue;
+      const bool next = std::string(tag) == "NOLINTNEXTLINE";
+      // "NOLINT" also matches inside "NOLINTNEXTLINE"; skip that overlap.
+      if (!next && c.find("NOLINTNEXTLINE") == pos) continue;
+      const int target = next ? line + 1 : line;
+      std::size_t after = pos + std::string(tag).size();
+      if (after < c.size() && c[after] == '(') {
+        ParseNolintList(c, after, &s.by_line[target]);
+      } else {
+        s.by_line[target].insert("");
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+// --- rules ----------------------------------------------------------------
+
+using FindingSink = std::vector<Finding>;
+
+void Report(FindingSink* out, const SourceFile& f, int line, const char* rule,
+            std::string message) {
+  out->push_back(Finding{rule, f.path, line, std::move(message)});
+}
+
+/// D1 + D3 share the container-use scan. `member_names` is the
+/// project-wide set of member-style names (trailing underscore) declared
+/// as unordered containers anywhere in the scanned tree, so iteration in
+/// a .cpp over a member declared in the header is still caught.
+void CollectUnorderedNames(const SourceFile& f, std::set<std::string>* local,
+                           std::set<std::string>* members) {
+  const JoinedCode j = Join(f);
+  for (const TemplateUse& use : FindContainerUses(
+           j, {"unordered_map", "unordered_set", "unordered_multimap",
+               "unordered_multiset"})) {
+    if (use.declared_name.empty()) continue;
+    local->insert(use.declared_name);
+    if (use.declared_name.back() == '_') members->insert(use.declared_name);
+  }
+}
+
+void RuleD1(const SourceFile& f, const std::set<std::string>& local,
+            const std::set<std::string>& project_members, FindingSink* out) {
+  const JoinedCode j = Join(f);
+  auto is_unordered = [&](const std::string& expr) {
+    std::string e = Trim(expr);
+    if (e.rfind("this->", 0) == 0) e = e.substr(6);
+    if (e.rfind("*", 0) == 0) e = Trim(e.substr(1));
+    return local.count(e) != 0 || project_members.count(e) != 0;
+  };
+
+  // Range-for over an unordered container (or an inline unordered temp).
+  for (std::size_t pos = FindToken(j.text, "for"); pos != std::string::npos;
+       pos = FindToken(j.text, "for", pos + 1)) {
+    std::size_t open = pos + 3;
+    while (open < j.text.size() &&
+           std::isspace(static_cast<unsigned char>(j.text[open])) != 0) {
+      ++open;
+    }
+    if (open >= j.text.size() || j.text[open] != '(') continue;
+    int depth = 0;
+    std::size_t colon = std::string::npos, close = std::string::npos;
+    for (std::size_t i = open; i < j.text.size(); ++i) {
+      const char c = j.text[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1) {
+        // Skip '::' scope tokens.
+        if (i + 1 < j.text.size() && j.text[i + 1] == ':') continue;
+        if (i > 0 && j.text[i - 1] == ':') continue;
+        colon = i;
+      }
+      if (c == ';') break;  // classic for loop
+    }
+    if (colon == std::string::npos || close == std::string::npos) continue;
+    const std::string range = j.text.substr(colon + 1, close - colon - 1);
+    if (is_unordered(range) || range.find("unordered_") != std::string::npos) {
+      Report(out, f, j.LineOf(colon), "D1",
+             "range-for over unordered container '" + Trim(range) +
+                 "': iteration order is unspecified and breaks DLPSIM_JOBS "
+                 "byte-identity in any stats/export/trace path");
+    }
+  }
+
+  // Iterator-based traversal: name.begin() / cbegin / rbegin.
+  for (const char* method : {".begin", ".cbegin", ".rbegin", ".crbegin"}) {
+    for (std::size_t pos = j.text.find(method); pos != std::string::npos;
+         pos = j.text.find(method, pos + 1)) {
+      const std::size_t after = pos + std::string(method).size();
+      if (after >= j.text.size() || j.text[after] != '(') continue;
+      std::size_t b = pos;
+      while (b > 0 && IsIdentChar(j.text[b - 1])) --b;
+      const std::string obj = j.text.substr(b, pos - b);
+      if (local.count(obj) != 0 || project_members.count(obj) != 0) {
+        Report(out, f, j.LineOf(pos), "D1",
+               "iterator traversal of unordered container '" + obj +
+                   "': iteration order is unspecified and breaks "
+                   "byte-identity");
+      }
+    }
+  }
+}
+
+void RuleD2(const SourceFile& f, FindingSink* out) {
+  if (PathHasFragment(f.path, "src/exec/timing") ||
+      PathHasFragment(f.path, "src/robust/watchdog")) {
+    return;
+  }
+  struct Pattern {
+    const char* token;
+    bool call_only;  // must be followed by '('
+    const char* what;
+  };
+  static const Pattern kPatterns[] = {
+      {"rand", true, "rand() is ambient global entropy"},
+      {"srand", true, "srand() seeds ambient global entropy"},
+      {"random_device", false,
+       "std::random_device draws hardware entropy; seed a SplitMix64/mt19937 "
+       "from the trace or config instead"},
+      {"time", true, "time() reads the wall clock"},
+      {"clock", true, "clock() reads process CPU time"},
+      {"gettimeofday", true, "gettimeofday() reads the wall clock"},
+      {"localtime", true, "localtime() reads the wall clock"},
+      {"gmtime", true, "gmtime() reads the wall clock"},
+  };
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& code = f.code[i];
+    const int line = static_cast<int>(i) + 1;
+    for (const Pattern& p : kPatterns) {
+      const bool hit =
+          p.call_only ? HasCallToken(code, p.token)
+                      : FindToken(code, p.token) != std::string::npos;
+      if (hit) {
+        Report(out, f, line, "D2",
+               std::string(p.what) +
+                   "; simulation must be a pure function of trace+seed "
+                   "(allowed only in src/exec/timing* and the watchdog)");
+      }
+    }
+    // Any chrono clock: steady_clock::now(), system_clock::now(), ...
+    std::size_t pos = code.find("::now");
+    if (pos != std::string::npos) {
+      std::size_t after = pos + 5;
+      if (after < code.size() && code[after] == '(') {
+        Report(out, f, line, "D2",
+               "clock ::now() reads wall time; use exec::Stopwatch "
+               "(src/exec/timing.h) for sanctioned wall-clock telemetry");
+      }
+    }
+  }
+}
+
+void RuleD3(const SourceFile& f, FindingSink* out) {
+  const JoinedCode j = Join(f);
+  for (const TemplateUse& use : FindContainerUses(
+           j, {"map", "multimap", "set", "multiset", "unordered_map",
+               "unordered_set", "unordered_multimap", "unordered_multiset"})) {
+    if (use.args.empty()) continue;
+    std::string key = use.args[0];
+    if (key.rfind("const ", 0) == 0) key = Trim(key.substr(6));
+    if (!key.empty() && key.back() == '*') {
+      Report(out, f, j.LineOf(use.offset), "D3",
+             "pointer key '" + use.args[0] + "' in " + use.container +
+                 ": pointer values depend on ASLR/allocation order, so any "
+                 "ordering or hashing over them is nondeterministic; key by "
+                 "a stable id instead");
+    }
+  }
+}
+
+void RuleS1(const SourceFile& f, const DocSet& docs, FindingSink* out) {
+  const bool in_env_layer = PathHasFragment(f.path, "src/sim/env.");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& code = f.code[i];
+    const int line = static_cast<int>(i) + 1;
+    const bool getenv_call = HasCallToken(code, "getenv") ||
+                             FindToken(code, "getenv") != std::string::npos;
+    if (getenv_call && !in_env_layer) {
+      Report(out, f, line, "S1",
+             "direct getenv(): read environment knobs through dlpsim::env "
+             "(src/sim/env.h) so every knob has one parse and one doc entry");
+    }
+    // Documentation cross-check at env read sites (both layers).
+    const bool env_call = code.find("env::") != std::string::npos;
+    if (!(getenv_call || env_call) || !docs.loaded) continue;
+    for (const std::string& lit : f.strings[i]) {
+      if (lit.rfind("DLPSIM_", 0) != 0) continue;
+      bool name_ok = lit.size() > 7;
+      for (char c : lit) {
+        if (!(std::isupper(static_cast<unsigned char>(c)) != 0 ||
+              std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_')) {
+          name_ok = false;
+        }
+      }
+      if (!name_ok) continue;
+      for (const auto& [doc_name, text] : docs.docs) {
+        if (text.find(lit) == std::string::npos) {
+          Report(out, f, line, "S1",
+                 "environment knob " + lit + " is not documented in " +
+                     doc_name + "; every DLPSIM_* knob must be discoverable "
+                     "without reading the source");
+        }
+      }
+    }
+  }
+}
+
+void RuleI1(const SourceFile& f, FindingSink* out) {
+  if (PathHasFragment(f.path, "src/core/")) return;
+  static const char* kMembers[] = {"protected_life", "pl", "pd"};
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& code = f.code[i];
+    const int line = static_cast<int>(i) + 1;
+    for (const char* member : kMembers) {
+      for (const char* arrow : {".", "->"}) {
+        const std::string needle = std::string(arrow) + member;
+        for (std::size_t pos = code.find(needle); pos != std::string::npos;
+             pos = code.find(needle, pos + 1)) {
+          const std::size_t end = pos + needle.size();
+          if (end < code.size() && IsIdentChar(code[end])) continue;  // .pd_bits
+          if (pos > 0 && code[pos] == '.' && IsIdentChar(code[pos - 1]) == 0) {
+            // leading ".pd" without an object (e.g. designated init) still
+            // counts -- fallthrough.
+          }
+          std::size_t after = end;
+          while (after < code.size() &&
+                 (code[after] == ' ' || code[after] == '\t')) {
+            ++after;
+          }
+          const std::string rest = code.substr(after);
+          const bool assign =
+              (!rest.empty() && rest[0] == '=' &&
+               (rest.size() < 2 || rest[1] != '=')) ||
+              rest.rfind("+=", 0) == 0 || rest.rfind("-=", 0) == 0 ||
+              rest.rfind("*=", 0) == 0 || rest.rfind("/=", 0) == 0 ||
+              rest.rfind("|=", 0) == 0 || rest.rfind("&=", 0) == 0 ||
+              rest.rfind("^=", 0) == 0 || rest.rfind("++", 0) == 0 ||
+              rest.rfind("--", 0) == 0;
+          // Prefix increment/decrement: `++x.pd` / `--x.pd`.
+          std::size_t obj = pos;
+          while (obj > 0 && (IsIdentChar(code[obj - 1]) || code[obj - 1] == '.' ||
+                             code[obj - 1] == '>' || code[obj - 1] == ']')) {
+            --obj;
+          }
+          const bool prefix =
+              obj >= 2 && (code.substr(obj - 2, 2) == "++" ||
+                           code.substr(obj - 2, 2) == "--");
+          if (assign || prefix) {
+            Report(out, f, line, "I1",
+                   std::string("write to protection state member '") + member +
+                       "' outside src/core/: the Fig. 9 PD/PL update flow "
+                       "must stay centralized (use the core policy API)");
+          }
+        }
+      }
+    }
+  }
+}
+
+void RuleI2(const SourceFile& f,
+            const std::map<std::string, const SourceFile*>& by_path,
+            FindingSink* out) {
+  auto subsystem_of = [](const std::string& path) -> std::string {
+    const std::size_t src = path.rfind("src/");
+    if (src != std::string::npos) {
+      const std::size_t begin = src + 4;
+      const std::size_t slash = path.find('/', begin);
+      if (slash != std::string::npos) return path.substr(src, slash - src);
+    }
+    const std::size_t tools = path.rfind("tools/");
+    if (tools != std::string::npos) return "tools";
+    return "";
+  };
+  const std::string my_subsys = subsystem_of(f.path);
+
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& code = f.code[i];
+    const int line = static_cast<int>(i) + 1;
+    const std::string trimmed = Trim(code);
+    if (trimmed.empty() || trimmed[0] != '#') continue;
+    if (trimmed.find("include") == std::string::npos) continue;
+    if (f.strings[i].empty()) continue;  // <system> include or macro
+    const std::string& inc = f.strings[i][0];
+
+    for (const char* ext : {".cpp", ".cc", ".cxx"}) {
+      if (inc.size() > std::strlen(ext) &&
+          inc.compare(inc.size() - std::strlen(ext), std::strlen(ext), ext) ==
+              0) {
+        Report(out, f, line, "I2",
+               "#include of an implementation file \"" + inc +
+                   "\": translation units are not an interface");
+      }
+    }
+    if (inc.find("../") != std::string::npos) {
+      Report(out, f, line, "I2",
+             "relative #include \"" + inc +
+                 "\" escapes the subsystem layout; include via the src/ root "
+                 "(e.g. \"exec/timing.h\")");
+    }
+
+    // Cross-subsystem reach into a marked internal header.
+    const std::string from_root = NormalizePath("src/" + inc);
+    const std::string sibling = NormalizePath(
+        (fs::path(f.path).parent_path() / inc).generic_string());
+    const SourceFile* target = nullptr;
+    // Project-relative lookup tolerates scanned paths that carry an
+    // absolute or repo prefix: match on path suffix.
+    for (const std::string& cand : {from_root, sibling}) {
+      for (const auto& [path, file] : by_path) {
+        if (path == cand || (path.size() > cand.size() &&
+                             path.compare(path.size() - cand.size() - 1, 1,
+                                          "/") == 0 &&
+                             path.compare(path.size() - cand.size(),
+                                          cand.size(), cand) == 0)) {
+          target = file;
+          break;
+        }
+      }
+      if (target != nullptr) break;
+    }
+    if (target == nullptr) continue;
+    if (!target->HasMarker("dlp-lint: internal-header")) continue;
+    const std::string target_subsys = subsystem_of(target->path);
+    if (target_subsys != my_subsys) {
+      Report(out, f, line, "I2",
+             "\"" + inc + "\" is " + target_subsys +
+                 "'s internal header (dlp-lint: internal-header); depend on "
+                 "the subsystem's public interface instead");
+    }
+  }
+}
+
+}  // namespace
+
+// --- lexer ----------------------------------------------------------------
+
+SourceFile Lex(const std::string& path, const std::string& text) {
+  SourceFile f;
+  f.path = NormalizePath(path);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string code_line, comment_line, current_literal, raw_delim;
+  std::vector<std::string> line_strings;
+
+  auto flush_line = [&]() {
+    f.raw.push_back("");  // filled below by the caller loop
+    f.code.push_back(code_line);
+    f.comments.push_back(comment_line);
+    f.strings.push_back(line_strings);
+    code_line.clear();
+    comment_line.clear();
+    line_strings.clear();
+  };
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i <= n) {
+    const char c = i < n ? text[i] : '\n';  // virtual trailing newline
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    const bool at_end = i == n;
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      if (state == State::kString || state == State::kChar) {
+        // Unterminated literal (or line splice we don't model): close it.
+        line_strings.push_back(current_literal);
+        current_literal.clear();
+        state = State::kCode;
+      }
+      if (!at_end || !code_line.empty() || !comment_line.empty() ||
+          !line_strings.empty() || !f.code.empty()) {
+        if (!(at_end && code_line.empty() && comment_line.empty() &&
+              line_strings.empty())) {
+          flush_line();
+        }
+      }
+      ++i;
+      if (at_end) break;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(text[i - 1]))) {
+          // Raw string R"delim( ... )delim"
+          std::size_t p = i + 2;
+          raw_delim.clear();
+          while (p < n && text[p] != '(') raw_delim += text[p++];
+          code_line += "R\"";
+          state = State::kRawString;
+          current_literal.clear();
+          i = p + 1;
+        } else if (c == '"') {
+          state = State::kString;
+          current_literal.clear();
+          code_line += '"';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          current_literal.clear();
+          code_line += '\'';
+          ++i;
+        } else {
+          code_line += c;
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += ' ';  // token separator where the comment sat
+          i += 2;
+        } else {
+          comment_line += c;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          current_literal += c;
+          if (next != '\0') current_literal += next;
+          i += 2;
+        } else if (c == '"') {
+          line_strings.push_back(current_literal);
+          current_literal.clear();
+          code_line += '"';
+          state = State::kCode;
+          ++i;
+        } else {
+          current_literal += c;
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          i += 2;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        const std::size_t end = text.find(close, i);
+        const std::size_t stop = end == std::string::npos ? n : end;
+        // Raw literal content may span lines; record it on the line where
+        // the literal opened and skip the newlines inside.
+        line_strings.push_back(text.substr(i, stop - i));
+        code_line += '"';
+        i = end == std::string::npos ? n : end + close.size();
+        state = State::kCode;
+        break;
+      }
+    }
+  }
+
+  // Re-split raw text to fill `raw` (the lexer flushed placeholder lines).
+  std::vector<std::string> raw_lines;
+  std::string cur;
+  for (char ch : text) {
+    if (ch == '\n') {
+      raw_lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) raw_lines.push_back(cur);
+  // Raw strings can swallow newlines, leaving fewer lexed lines than raw
+  // lines; pad so indexes stay aligned for the lines that do exist.
+  while (f.code.size() < raw_lines.size()) {
+    f.code.push_back("");
+    f.comments.push_back("");
+    f.strings.push_back({});
+    f.raw.push_back("");
+  }
+  for (std::size_t k = 0; k < f.raw.size() && k < raw_lines.size(); ++k) {
+    f.raw[k] = raw_lines[k];
+  }
+  return f;
+}
+
+// --- driver ---------------------------------------------------------------
+
+std::vector<Finding> Lint(const std::vector<SourceFile>& files,
+                          const LintOptions& opts) {
+  // Cross-file state: project-wide unordered member names (D1) and the
+  // file table for include resolution (I2).
+  std::set<std::string> project_members;
+  std::map<std::string, std::set<std::string>> local_names;
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) {
+    by_path[f.path] = &f;
+    CollectUnorderedNames(f, &local_names[f.path], &project_members);
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& f : files) {
+    FindingSink raw;
+    RuleD1(f, local_names[f.path], project_members, &raw);
+    RuleD2(f, &raw);
+    RuleD3(f, &raw);
+    RuleS1(f, opts.docs, &raw);
+    RuleI1(f, &raw);
+    RuleI2(f, by_path, &raw);
+
+    const Suppressions sup = CollectSuppressions(f);
+    for (Finding& finding : raw) {
+      if (!sup.Covers(finding.line, finding.rule)) {
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end());
+  findings.erase(std::unique(findings.begin(), findings.end()),
+                 findings.end());
+  return findings;
+}
+
+DocSet LoadDocs(const std::string& dir) {
+  DocSet docs;
+  for (const char* name : {"README.md", "EXPERIMENTS.md"}) {
+    const fs::path p = fs::path(dir) / name;
+    std::ifstream in(p);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    docs.docs[name] = ss.str();
+  }
+  docs.loaded = !docs.docs.empty();
+  return docs;
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const LintOptions& opts, std::string* error) {
+  std::vector<std::string> file_paths;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc") {
+          file_paths.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      file_paths.push_back(p);
+    } else {
+      if (error != nullptr) *error = "cannot read path: " + p;
+      return {};
+    }
+  }
+  std::sort(file_paths.begin(), file_paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(file_paths.size());
+  for (const std::string& p : file_paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot open file: " + p;
+      return {};
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    files.push_back(Lex(p, ss.str()));
+  }
+  return Lint(files, opts);
+}
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::stringstream out;
+  for (const Finding& f : findings) {
+    std::string lower = f.rule;
+    for (char& c : lower) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << " (suppress: // NOLINT(dlp-" << lower << "))\n";
+  }
+  return out.str();
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::stringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "  {\"rule\": \"" << f.rule << "\", \"file\": \""
+        << JsonEscape(f.path) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << JsonEscape(f.message) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace dlplint

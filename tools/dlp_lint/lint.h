@@ -1,0 +1,127 @@
+// dlp_lint: a project-specific static analyzer for dlpsim.
+//
+// The simulator's two hardest guarantees -- byte-identical results under
+// DLPSIM_JOBS and bit-exact fuzzer replay -- are behavioural: the test
+// suite can only catch a violation after it ships. dlp_lint rejects the
+// *source patterns* that introduce such violations, at the line that
+// introduces them. It is deliberately token/line-level (no libclang): the
+// rules below are all expressible over lexed lines, and a zero-dependency
+// tool can run in every build and CI job.
+//
+// Rules (see Rules() for the machine-readable table):
+//   D1  no iteration over std::unordered_map/set -- iteration order is
+//       unspecified and varies across libstdc++ versions and ASLR, so any
+//       stats/export/trace path built on it breaks byte-identity.
+//   D2  no wall-clock or ambient randomness (rand, random_device as a
+//       generator, time(), *_clock::now()) outside src/exec/timing* and
+//       src/robust/watchdog* -- replay/resume must be a pure function of
+//       the trace and the seed.
+//   D3  no pointer values as map/set keys -- ASLR makes pointer order a
+//       per-run coin flip.
+//   S1  every DLPSIM_* environment knob is read through the config layer
+//       (src/sim/env.h) and documented in README.md and EXPERIMENTS.md.
+//   I1  no direct writes to line protection state (protected_life / pl)
+//       or PDPT pd fields outside src/core/ -- the Fig. 9 update flow
+//       stays centralized.
+//   I2  include hygiene: no including .cpp files, no "../" escapes, and
+//       no reaching into another subsystem's internal headers (headers
+//       carrying a "dlp-lint: internal-header" marker).
+//
+// Suppression: append `// NOLINT(dlp-d1)` (any rule id, lower-case,
+// comma-separated) to the offending line, or `// NOLINTNEXTLINE(dlp-d1)`
+// to the line above. A bare NOLINT suppresses every rule on that line.
+// Suppressions are for patterns that are *provably* safe (e.g. iteration
+// whose order is washed out by a sort); the justification belongs in the
+// same comment.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dlplint {
+
+/// One diagnostic: `rule` is the short id ("D1"), `line` is 1-based.
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  }
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return a.path == b.path && a.line == b.line && a.rule == b.rule;
+  }
+};
+
+/// Static description of one rule (for --list-rules and the docs table).
+struct RuleInfo {
+  const char* id;         // "D1"
+  const char* summary;    // one line, imperative
+  const char* rationale;  // why violating it breaks the simulator
+};
+
+const std::vector<RuleInfo>& Rules();
+
+/// A lexed translation unit. `code[i]` mirrors raw line i with comments
+/// and string/char-literal *contents* blanked to spaces (quotes kept), so
+/// token scans never fire inside literals; `strings[i]` holds the literal
+/// contents that were blanked; `comments[i]` holds that line's comment
+/// text (the NOLINT channel).
+struct SourceFile {
+  std::string path;  // normalized, forward slashes
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::vector<std::string>> strings;
+  std::vector<std::string> comments;
+
+  bool HasMarker(const std::string& marker) const {
+    for (const std::string& c : comments) {
+      if (c.find(marker) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+/// Documentation corpus for the S1 cross-check. A knob is "documented"
+/// when its exact name appears in every loaded doc. When `loaded` is
+/// false (no README next to the scanned tree) the doc half of S1 is
+/// skipped; the config-layer half still runs.
+struct DocSet {
+  bool loaded = false;
+  // name shown in messages -> full file contents
+  std::map<std::string, std::string> docs;
+};
+
+struct LintOptions {
+  DocSet docs;
+};
+
+/// Lexes one file's text (strips comments/literals, records NOLINTs).
+SourceFile Lex(const std::string& path, const std::string& text);
+
+/// Runs every rule over the lexed files and returns suppression-filtered
+/// findings sorted by (path, line, rule). Cross-file state (I2 internal
+/// headers, D1 member names) is built from exactly `files`.
+std::vector<Finding> Lint(const std::vector<SourceFile>& files,
+                          const LintOptions& opts);
+
+/// Convenience used by the CLI and the tests: expands directories to
+/// their .h/.hpp/.cpp/.cc files (sorted, deterministic), lexes and lints.
+/// Unreadable paths are reported in `*error` and produce an empty result.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const LintOptions& opts, std::string* error);
+
+/// Loads README.md / EXPERIMENTS.md from `dir` if present.
+DocSet LoadDocs(const std::string& dir);
+
+/// Renders findings for humans (one line each) or as a JSON array.
+std::string FormatText(const std::vector<Finding>& findings);
+std::string FormatJson(const std::vector<Finding>& findings);
+
+}  // namespace dlplint

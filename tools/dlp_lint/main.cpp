@@ -1,0 +1,80 @@
+// dlp_lint CLI. Usage:
+//
+//   dlp_lint [--json] [--docs DIR] [--list-rules] PATH...
+//
+// Walks every PATH (directories recurse over .h/.hpp/.cpp/.cc), runs the
+// project rules (see lint.h) and prints one line per finding. Exit codes:
+// 0 clean, 1 findings, 2 usage or I/O error.
+//
+// The S1 documentation cross-check loads README.md and EXPERIMENTS.md
+// from --docs (default: the current directory, i.e. the repo root when
+// invoked as `tools/dlp_lint src tools`). When neither file exists the
+// doc half of S1 is skipped, so the tool also works on bare fixture
+// trees.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dlp_lint/lint.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string docs_dir = ".";
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--docs") {
+      if (i + 1 >= argc) {
+        std::cerr << "dlp_lint: --docs needs a directory\n";
+        return 2;
+      }
+      docs_dir = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const dlplint::RuleInfo& r : dlplint::Rules()) {
+        std::cout << r.id << "  " << r.summary << "\n      why: "
+                  << r.rationale << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dlp_lint [--json] [--docs DIR] [--list-rules] "
+                   "PATH...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dlp_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: dlp_lint [--json] [--docs DIR] [--list-rules] "
+                 "PATH...\n";
+    return 2;
+  }
+
+  dlplint::LintOptions opts;
+  opts.docs = dlplint::LoadDocs(docs_dir);
+
+  std::string error;
+  const std::vector<dlplint::Finding> findings =
+      dlplint::LintPaths(paths, opts, &error);
+  if (!error.empty()) {
+    std::cerr << "dlp_lint: " << error << "\n";
+    return 2;
+  }
+
+  if (json) {
+    std::cout << dlplint::FormatJson(findings);
+  } else {
+    std::cout << dlplint::FormatText(findings);
+    if (findings.empty()) {
+      std::cout << "dlp_lint: clean\n";
+    } else {
+      std::cout << "dlp_lint: " << findings.size() << " finding(s)\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
