@@ -18,6 +18,9 @@
 #include "exec/run_grid.h"
 #include "gpu/simulator.h"
 #include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/timeline.h"
 #include "obs/trace_sink.h"
 #include "robust/fault.h"
@@ -79,6 +82,18 @@ std::string TimingDir() {
 // Timing()); benches turn this into a non-zero exit after printing every
 // table they could compute.
 std::atomic<std::size_t> g_failed_cells{0};
+
+// DLPSIM_PROGRESS: 0 = off, "1"/any truthy value = heartbeat every 1M
+// core cycles, >= 2 = explicit interval in core cycles.
+std::uint64_t ProgressInterval() {
+  if (!env::Flag("DLPSIM_PROGRESS")) return 0;
+  const std::uint64_t v = env::U64("DLPSIM_PROGRESS", 1);
+  return v >= 2 ? v : 1'000'000;
+}
+
+bool ProfileEnabled() { return env::Flag("DLPSIM_PROFILE"); }
+
+bool MetricsDumpEnabled() { return env::Flag("DLPSIM_METRICS"); }
 }  // namespace
 
 double Scale() { return env::PositiveDouble("DLPSIM_SCALE", 1.0); }
@@ -240,6 +255,44 @@ void ExportFaultArtifacts(const std::string& abbr, const std::string& config,
   }
 }
 
+/// Writes one profiled cell's phase breakdown into DLPSIM_TIMING_DIR in
+/// every supported shape: JSON (machine), collapsed stacks (flamegraph),
+/// Prometheus text and a Chrome trace of the retained spans. Best-effort.
+void ExportProfile(const std::string& abbr, const std::string& config,
+                   const obs::Profiler& profiler) {
+  namespace fs = std::filesystem;
+  const fs::path dir = TimingDir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string stem = abbr + "_" + config + "_profile";
+  {
+    std::ofstream os(dir / (stem + ".json"));
+    if (!os) {
+      std::cerr << "[profile] cannot write " << (dir / (stem + ".json"))
+                << '\n';
+      return;
+    }
+    profiler.WriteJson(os);
+  }
+  {
+    std::ofstream os(dir / (stem + ".collapsed"));
+    profiler.WriteCollapsed(os);
+  }
+  {
+    std::ofstream os(dir / (stem + ".prom"));
+    profiler.WriteText(os);
+  }
+  {
+    std::ofstream os(dir / (stem + ".trace.json"));
+    WriteProfileChromeTrace(os, profiler, abbr + "/" + config);
+  }
+  std::cerr << "[profile] " << abbr << '/' << config << ": "
+            << profiler.events().size() << " spans ("
+            << profiler.dropped_events() << " dropped) -> "
+            << (dir / stem).string() << ".{json,collapsed,prom,trace.json}"
+            << '\n';
+}
+
 }  // namespace
 
 RunResult SimulateUncached(const std::string& abbr, const std::string& config,
@@ -257,6 +310,21 @@ RunResult SimulateUncached(const std::string& abbr, const std::string& config,
   if (tracing) {
     gpu.SetTraceSink(&sink);
     gpu.SetTimeline(&timeline);
+  }
+
+  // Observability hooks. The phase profiler is per-cell (the Profiler is
+  // single-threaded by design), so profiling stays safe at any job
+  // count; neither hook changes simulation results.
+  std::unique_ptr<obs::Profiler> phase_profiler;
+  if (ProfileEnabled()) {
+    phase_profiler = std::make_unique<obs::Profiler>();
+    gpu.SetProfiler(phase_profiler.get());
+  }
+  std::unique_ptr<obs::ProgressMeter> progress;
+  if (const std::uint64_t interval = ProgressInterval(); interval > 0) {
+    progress = std::make_unique<obs::ProgressMeter>(interval,
+                                                    abbr + "/" + config);
+    gpu.SetProgress(progress.get());
   }
 
   // Resilience hooks (both off by default, so un-faulted runs stay
@@ -303,6 +371,9 @@ RunResult SimulateUncached(const std::string& abbr, const std::string& config,
 
   if (tracing) {
     ExportTrace(abbr, config, scale, cfg, result.metrics, timeline, sink);
+  }
+  if (phase_profiler != nullptr) {
+    ExportProfile(abbr, config, *phase_profiler);
   }
   return result;
 }
@@ -390,6 +461,28 @@ TimingScope::~TimingScope() {
   // job count actually used (tracing forces serial).
   const std::size_t jobs = TraceEnabled() ? 1 : exec::DefaultJobs();
   Timing().WriteJson(os, name_, jobs, Scale());
+
+  // DLPSIM_METRICS: dump the global registry next to the timing report.
+  // The registry holds only merge-order-independent integers, so this
+  // dump is byte-identical at any DLPSIM_JOBS.
+  if (MetricsDumpEnabled()) {
+    const fs::path prom = dir / (name_ + "_metrics.prom");
+    {
+      std::ofstream mos(prom);
+      if (mos) {
+        obs::Registry::Global().WriteText(mos);
+      } else {
+        std::cerr << "[metrics] cannot write " << prom << '\n';
+      }
+    }
+    const fs::path json = dir / (name_ + "_metrics.json");
+    std::ofstream mos(json);
+    if (mos) {
+      obs::Registry::Global().WriteJson(mos);
+    } else {
+      std::cerr << "[metrics] cannot write " << json << '\n';
+    }
+  }
 }
 
 namespace {

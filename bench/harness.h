@@ -61,6 +61,28 @@
 //                       RunGrid cells (cooperative: an over-budget
 //                       attempt is discarded and counted as a timed-out
 //                       failure). Unset/0 = no timeout.
+//   DLPSIM_METRICS    - set to 1 to dump the global obs::Registry on
+//                       TimingScope destruction: <bench>_metrics.prom
+//                       (Prometheus text exposition) and
+//                       <bench>_metrics.json into DLPSIM_TIMING_DIR.
+//                       Counters are integer-only and merge-order
+//                       independent, so the dump is byte-identical at
+//                       any DLPSIM_JOBS (enforced by
+//                       tests/obs/metrics_determinism_test.cpp).
+//   DLPSIM_PROGRESS   - heartbeat while a cell simulates: "1" emits a
+//                       [progress] line to stderr every 1M core cycles
+//                       (cycle, accesses/sec, warps finished, ETA); a
+//                       value >= 2 sets the interval in core cycles.
+//                       The last line is copied into the watchdog's
+//                       StallDiagnostic when a run stalls.
+//   DLPSIM_PROFILE    - set to 1 to attach an obs::Profiler phase
+//                       profiler to every simulated cell and write
+//                       <app>_<config>_profile.{json,collapsed,prom,
+//                       trace.json} into DLPSIM_TIMING_DIR: per-phase
+//                       call counts and self/total wall time, a
+//                       flamegraph collapsed-stack file, and a Chrome
+//                       trace of the retained spans. Wall-clock times
+//                       never enter the deterministic metrics registry.
 #pragma once
 
 #include <cstdint>

@@ -30,6 +30,12 @@ namespace dlpsim {
 
 class TraceSink;
 
+namespace obs {
+class Counter;
+class Histogram;
+class Profiler;
+}  // namespace obs
+
 enum class AccessResult : std::uint8_t {
   kHit,
   kMissIssued,
@@ -137,6 +143,12 @@ class L1DCache {
   void SetTraceSink(TraceSink* sink, std::uint32_t sm_id = 0);
   TraceSink* trace_sink() const { return trace_; }
 
+  /// Optional phase profiler (obs/). Spans wrap each access and its
+  /// policy bookkeeping; nullptr (the default) keeps the hot path at one
+  /// predictable branch per access. Purely observational wall-time
+  /// telemetry -- attaching never changes simulation results.
+  void SetProfiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   AccessResult AccessLoad(const MemAccess& access, std::uint32_t set,
                           Addr block, Cycle now);
@@ -164,6 +176,11 @@ class L1DCache {
   CacheStats stats_;
   AccessObserver* observer_ = nullptr;
   TraceSink* trace_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  // Registry instruments (cached stable pointers; see obs/metrics.h).
+  obs::Counter* m_accesses_ = nullptr;        // cache.accesses
+  obs::Counter* m_fills_ = nullptr;           // cache.fills
+  obs::Histogram* m_mshr_occupancy_ = nullptr;  // cache.mshr_occupancy
   std::uint16_t sm_ = 0;
   Cycle fault_blackout_until_ = 0;  // robust/: accesses fail before this
 };

@@ -30,6 +30,10 @@ namespace dlpsim {
 
 class TraceSink;
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// Outcome of asking a policy where a missing line may be placed.
 struct VictimChoice {
   enum class Kind : std::uint8_t {
@@ -178,6 +182,13 @@ class ProtectedLifePolicy : public ProtectionPolicy {
   /// Common OnLoadHit/OnMergedMiss/OnReserve tail: move instruction
   /// ownership to `pc` and rewrite PL (tracing PL-field saturation).
   void StampOwnership(CacheLine& line, Pc pc);
+
+  // Registry instruments (obs::Registry::Global(); stable pointers cached
+  // at construction). Pure telemetry: counted off completed policy work,
+  // never read back into decisions.
+  obs::Counter* m_pl_decrements_ = nullptr;  // cache.pl_decrements
+  obs::Counter* m_pd_recomputes_ = nullptr;  // cache.pd_recomputes
+  obs::Counter* m_vta_hits_ = nullptr;       // cache.vta_hits
 };
 
 class GlobalProtectionPolicy : public ProtectedLifePolicy {

@@ -1,5 +1,7 @@
 #include "gpu/simulator.h"
 
+#include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace_sink.h"
 #include "robust/fault.h"
 #include "robust/invariants.h"
@@ -60,6 +62,11 @@ void GpuSimulator::SetTimeline(TimelineSampler* sampler) {
   timeline_ = sampler;
 }
 
+void GpuSimulator::SetProfiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  for (SmCore& core : cores_) core.l1d().SetProfiler(profiler);
+}
+
 PolicySnapshot GpuSimulator::SnapshotPolicy() const {
   PolicySnapshot snap;
   std::uint32_t cores_with_pdpt = 0;
@@ -85,11 +92,14 @@ PolicySnapshot GpuSimulator::SnapshotPolicy() const {
 void GpuSimulator::Step() {
   for (std::uint32_t domain : clocks_.Tick()) {
     if (domain == mem_domain_) {
+      obs::ProfileSpan span(profiler_, obs::Phase::kMemTick);
       const Cycle now = clocks_.cycles(mem_domain_);
       for (MemoryPartition& p : partitions_) p.Tick(now, icnt_);
     } else if (domain == icnt_domain_) {
+      obs::ProfileSpan span(profiler_, obs::Phase::kIcntTick);
       icnt_.Tick(clocks_.cycles(icnt_domain_));
     } else if (domain == core_domain_) {
+      obs::ProfileSpan span(profiler_, obs::Phase::kCoreTick);
       const Cycle now = clocks_.cycles(core_domain_);
       // Injected faults land on the core clock edge, before the cores
       // tick, so "at cycle X" means "visible to cycle X's accesses".
@@ -112,7 +122,20 @@ void GpuSimulator::Step() {
         }
       }
       if (timeline_ != nullptr && timeline_->Due(now)) {
+        obs::ProfileSpan snap(profiler_, obs::Phase::kSnapshot);
         timeline_->Record(now, Collect(), SnapshotPolicy());
+      }
+      if (progress_ != nullptr && progress_->Due(now)) {
+        obs::ProgressSample sample;
+        sample.cycle = now;
+        for (const SmCore& core : cores_) {
+          sample.accesses += core.l1d().stats().accesses;
+          for (const Warp& w : core.warps()) {
+            ++sample.warps_total;
+            if (w.Finished()) ++sample.warps_finished;
+          }
+        }
+        progress_->Emit(sample);
       }
       if (checker_ != nullptr && checker_->Due(now)) {
         checker_->CheckAll(*this, now);
@@ -120,9 +143,13 @@ void GpuSimulator::Step() {
       if (watchdog_ != nullptr && !watchdog_->tripped() &&
           watchdog_->Due(now) && !Done()) {
         if (watchdog_->Observe(ProgressCount(), now)) {
-          watchdog_->set_diagnostic(
+          robust::StallDiagnostic diag =
               robust::Diagnose(*this, now, watchdog_->last_progress_cycle(),
-                               watchdog_->last_signature()));
+                               watchdog_->last_signature());
+          if (progress_ != nullptr) {
+            diag.last_heartbeat = progress_->last_line();
+          }
+          watchdog_->set_diagnostic(std::move(diag));
           run_error_ = robust::RunError::kWatchdogStall;
         }
       }
@@ -160,8 +187,17 @@ bool GpuSimulator::Done() const {
 }
 
 Metrics GpuSimulator::Run() {
-  while (!Done() && clocks_.cycles(core_domain_) < cfg_.max_core_cycles &&
-         run_error_ == robust::RunError::kNone) {
+  obs::ProfileSpan run_span(profiler_, obs::Phase::kRun);
+  for (;;) {
+    bool done;
+    {
+      obs::ProfileSpan drain_span(profiler_, obs::Phase::kDrainCheck);
+      done = Done();
+    }
+    if (done || clocks_.cycles(core_domain_) >= cfg_.max_core_cycles ||
+        run_error_ != robust::RunError::kNone) {
+      break;
+    }
     Step();
   }
   Metrics m = Collect();

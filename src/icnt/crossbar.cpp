@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace dlpsim {
 
 Crossbar::Crossbar(const IcntConfig& cfg, std::uint32_t num_cores,
@@ -10,7 +12,10 @@ Crossbar::Crossbar(const IcntConfig& cfg, std::uint32_t num_cores,
       core_ports_(num_cores),
       partition_ports_(num_partitions),
       to_partition_(num_partitions),
-      to_core_(num_cores) {}
+      to_core_(num_cores),
+      m_delivered_(obs::Registry::Global().GetCounter(
+          "icnt", "packets_delivered",
+          "packets landed in a delivery queue")) {}
 
 bool Crossbar::CanInjectFromCore(std::uint32_t core) const {
   return core_ports_[core].queue.size() < kInjectQueueCap;
@@ -83,6 +88,7 @@ void Crossbar::Deliver(Cycle now) {
     if (due && queues[f.pkt.dst].size() < kDeliveryQueueCap) {
       queues[f.pkt.dst].push_back(f.pkt);
       ++packets_delivered;
+      m_delivered_->Add();
     } else {
       still_flying.push_back(f);
     }

@@ -13,6 +13,10 @@
 
 namespace dlpsim {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class DramChannel {
  public:
   DramChannel(const DramConfig& cfg, std::uint32_t line_bytes);
@@ -70,6 +74,8 @@ class DramChannel {
   std::vector<Bank> banks_;
   std::vector<InService> in_service_;
   Cycle bus_busy_until_ = 0;
+  obs::Counter* m_reads_ = nullptr;   // mem.dram_reads
+  obs::Counter* m_writes_ = nullptr;  // mem.dram_writes
 
   static constexpr std::size_t kQueueCap = 32;
 };

@@ -2,13 +2,18 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace dlpsim {
 
 MemoryPartition::MemoryPartition(const SimConfig& cfg, PartitionId id)
     : cfg_(cfg),
       id_(id),
       l2_(cfg.l2),
-      dram_(cfg.dram, cfg.l2.geom.line_bytes) {}
+      dram_(cfg.dram, cfg.l2.geom.line_bytes),
+      m_served_(obs::Registry::Global().GetCounter(
+          "mem", "requests_served",
+          "read replies injected back into the interconnect")) {}
 
 void MemoryPartition::ScheduleReply(const IcntPacket& request,
                                     Cycle ready_at) {
@@ -43,6 +48,7 @@ void MemoryPartition::PushReplies(Cycle now, Crossbar& icnt) {
     if (it->ready_at <= now && icnt.CanInjectFromPartition(id_)) {
       icnt.InjectFromPartition(id_, it->pkt);
       ++requests_served;
+      m_served_->Add();
       it = replies_.erase(it);
     } else {
       ++it;

@@ -1,0 +1,426 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace dlpsim::obs {
+
+const char* ToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::size_t ThisShard() {
+  // Monotone registration counter, wrapped onto the fixed shard set.
+  // Shard collisions (> kMetricShards live threads) only cost contention:
+  // the relaxed atomic adds stay correct and the merged sums unchanged.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const detail::Slot& s : slots_) {
+    total += static_cast<std::uint64_t>(s.v.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (detail::Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::Value() const {
+  std::int64_t total = 0;
+  for (const detail::Slot& s : slots_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Reset() {
+  for (detail::Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("histogram bounds must be strictly increasing");
+    }
+  }
+  // Per shard: bounds+1 buckets (last = overflow) plus one sum slot.
+  stride_ = bounds_.size() + 2;
+  slots_ = std::vector<detail::Slot>(kMetricShards * stride_);
+}
+
+void Histogram::Observe(std::uint64_t v) {
+  // First bound >= v wins (Prometheus "le" semantics); above the last
+  // bound lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  const std::size_t base = detail::ThisShard() * stride_;
+  slots_[base + bucket].v.fetch_add(1, std::memory_order_relaxed);
+  slots_[base + stride_ - 1].v.fetch_add(static_cast<std::int64_t>(v),
+                                         std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < kMetricShards; ++s) {
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += static_cast<std::uint64_t>(
+          slots_[s * stride_ + b].v.load(std::memory_order_relaxed));
+    }
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t c : BucketCounts()) n += c;
+  return n;
+}
+
+std::uint64_t Histogram::Sum() const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kMetricShards; ++s) {
+    sum += static_cast<std::uint64_t>(
+        slots_[s * stride_ + stride_ - 1].v.load(std::memory_order_relaxed));
+  }
+  return sum;
+}
+
+void Histogram::Reset() {
+  for (detail::Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string KeyOf(std::string_view scope, std::string_view name) {
+  std::string key(scope);
+  key += '\x1f';  // cannot collide with any printable scope/name pair
+  key += name;
+  return key;
+}
+}  // namespace
+
+Registry::Entry* Registry::FindOrNull(const std::string& key) {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter* Registry::GetCounter(std::string_view scope, std::string_view name,
+                              std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = KeyOf(scope, name);
+  if (Entry* e = FindOrNull(key); e != nullptr) {
+    if (e->info.kind != MetricKind::kCounter) {
+      throw std::logic_error("metric " + std::string(scope) + "." +
+                             std::string(name) +
+                             " already registered with a different kind");
+    }
+    return e->counter.get();
+  }
+  Entry& e = entries_[key];
+  e.info = {std::string(scope), std::string(name), std::string(help),
+            MetricKind::kCounter};
+  e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view scope, std::string_view name,
+                          std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = KeyOf(scope, name);
+  if (Entry* e = FindOrNull(key); e != nullptr) {
+    if (e->info.kind != MetricKind::kGauge) {
+      throw std::logic_error("metric " + std::string(scope) + "." +
+                             std::string(name) +
+                             " already registered with a different kind");
+    }
+    return e->gauge.get();
+  }
+  Entry& e = entries_[key];
+  e.info = {std::string(scope), std::string(name), std::string(help),
+            MetricKind::kGauge};
+  e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view scope,
+                                  std::string_view name,
+                                  std::span<const std::uint64_t> bounds,
+                                  std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = KeyOf(scope, name);
+  if (Entry* e = FindOrNull(key); e != nullptr) {
+    if (e->info.kind != MetricKind::kHistogram ||
+        !std::equal(bounds.begin(), bounds.end(),
+                    e->histogram->bounds().begin(),
+                    e->histogram->bounds().end())) {
+      throw std::logic_error("metric " + std::string(scope) + "." +
+                             std::string(name) +
+                             " already registered with a different "
+                             "kind/bounds");
+    }
+    return e->histogram.get();
+  }
+  Entry& e = entries_[key];
+  e.info = {std::string(scope), std::string(name), std::string(help),
+            MetricKind::kHistogram};
+  e.histogram = std::make_unique<Histogram>(bounds);
+  return e.histogram.get();
+}
+
+std::vector<MetricSample> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.info = e.info;
+    switch (e.info.kind) {
+      case MetricKind::kCounter:
+        s.counter = e.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = e.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        s.bounds = e.histogram->bounds();
+        s.bucket_counts = e.histogram->BucketCounts();
+        s.count = e.histogram->Count();
+        s.sum = e.histogram->Sum();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : entries_) {
+    switch (e.info.kind) {
+      case MetricKind::kCounter:
+        e.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        e.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+// ---------------------------------------------------------------------------
+
+std::string PrometheusName(std::string_view scope, std::string_view name) {
+  std::string out = "dlpsim_";
+  const auto append = [&out](std::string_view part) {
+    for (const char c : part) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out += ok ? c : '_';
+    }
+  };
+  append(scope);
+  out += '_';
+  append(name);
+  return out;
+}
+
+std::string PrometheusLabelEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string CsvField(std::string_view s) {
+  const bool hostile = s.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!hostile) return std::string(s);
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void Registry::WriteText(std::ostream& os) const {
+  for (const MetricSample& s : Snapshot()) {
+    const std::string pname = PrometheusName(s.info.scope, s.info.name);
+    if (!s.info.help.empty()) {
+      // HELP text: escape backslash and newline per the exposition format.
+      std::string help;
+      for (const char c : s.info.help) {
+        if (c == '\\') {
+          help += "\\\\";
+        } else if (c == '\n') {
+          help += "\\n";
+        } else {
+          help += c;
+        }
+      }
+      os << "# HELP " << pname << ' ' << help << '\n';
+    }
+    os << "# TYPE " << pname << ' ' << ToString(s.info.kind) << '\n';
+    // Sanitizing can collapse distinct raw names; the raw identity rides
+    // along as labels so nothing is lost.
+    const std::string labels = "{scope=\"" +
+                               PrometheusLabelEscape(s.info.scope) +
+                               "\",name=\"" +
+                               PrometheusLabelEscape(s.info.name) + "\"}";
+    switch (s.info.kind) {
+      case MetricKind::kCounter:
+        os << pname << labels << ' ' << s.counter << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << pname << labels << ' ' << s.gauge << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < s.bucket_counts.size(); ++b) {
+          cumulative += s.bucket_counts[b];
+          os << pname << "_bucket{scope=\""
+             << PrometheusLabelEscape(s.info.scope) << "\",name=\""
+             << PrometheusLabelEscape(s.info.name) << "\",le=\"";
+          if (b < s.bounds.size()) {
+            os << s.bounds[b];
+          } else {
+            os << "+Inf";
+          }
+          os << "\"} " << cumulative << '\n';
+        }
+        os << pname << "_sum" << labels << ' ' << s.sum << '\n';
+        os << pname << "_count" << labels << ' ' << s.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::WriteJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("schema", "dlpsim-metrics-v1");
+  w.Key("metrics").BeginArray();
+  for (const MetricSample& s : Snapshot()) {
+    w.BeginObject();
+    w.KV("scope", s.info.scope);
+    w.KV("name", s.info.name);
+    w.KV("kind", ToString(s.info.kind));
+    if (!s.info.help.empty()) w.KV("help", s.info.help);
+    switch (s.info.kind) {
+      case MetricKind::kCounter:
+        w.KV("value", s.counter);
+        break;
+      case MetricKind::kGauge:
+        w.KV("value", std::int64_t{s.gauge});
+        break;
+      case MetricKind::kHistogram:
+        w.Key("bounds").BeginArray();
+        for (const std::uint64_t b : s.bounds) w.Value(b);
+        w.EndArray();
+        w.Key("buckets").BeginArray();
+        for (const std::uint64_t c : s.bucket_counts) w.Value(c);
+        w.EndArray();
+        w.KV("count", s.count);
+        w.KV("sum", s.sum);
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+}
+
+void Registry::WriteCsv(std::ostream& os) const {
+  os << "scope,name,kind,bucket,value\n";
+  for (const MetricSample& s : Snapshot()) {
+    const std::string prefix = CsvField(s.info.scope) + ',' +
+                               CsvField(s.info.name) + ',' +
+                               ToString(s.info.kind);
+    switch (s.info.kind) {
+      case MetricKind::kCounter:
+        os << prefix << ",," << s.counter << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << prefix << ",," << s.gauge << '\n';
+        break;
+      case MetricKind::kHistogram:
+        for (std::size_t b = 0; b < s.bucket_counts.size(); ++b) {
+          os << prefix << ",le=";
+          if (b < s.bounds.size()) {
+            os << s.bounds[b];
+          } else {
+            os << "inf";
+          }
+          os << ',' << s.bucket_counts[b] << '\n';
+        }
+        os << prefix << ",sum," << s.sum << '\n';
+        os << prefix << ",count," << s.count << '\n';
+        break;
+    }
+  }
+}
+
+}  // namespace dlpsim::obs

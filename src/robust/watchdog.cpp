@@ -90,6 +90,9 @@ std::string StallDiagnostic::ToText() const {
   os << "watchdog: no forward progress since core cycle "
      << last_progress_cycle << " (tripped at " << trip_cycle
      << "); stalled resource: " << StalledResource() << "\n";
+  if (!last_heartbeat.empty()) {
+    os << "  last heartbeat: " << last_heartbeat << "\n";
+  }
   os << "  icnt packets in flight: " << icnt_in_flight
      << ", memory-partition backlog: " << mem_backlog
      << ", MSHR entries: " << total_mshr
@@ -118,6 +121,7 @@ void StallDiagnostic::WriteJson(std::ostream& os) const {
   w.KV("trip_cycle", trip_cycle);
   w.KV("last_progress_cycle", last_progress_cycle);
   w.KV("progress_signature", progress_signature);
+  w.KV("last_heartbeat", last_heartbeat);
   w.KV("stalled_resource", StalledResource());
   w.KV("icnt_in_flight", icnt_in_flight);
   w.KV("mem_backlog", mem_backlog);

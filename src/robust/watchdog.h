@@ -49,6 +49,10 @@ struct StallDiagnostic {
   Cycle trip_cycle = 0;
   Cycle last_progress_cycle = 0;
   std::uint64_t progress_signature = 0;
+  // Most recent DLPSIM_PROGRESS heartbeat line, copied in by GpuSimulator
+  // at trip time (empty when no ProgressMeter was attached or it never
+  // fired): how far the run got and how fast it was moving when it died.
+  std::string last_heartbeat;
   std::vector<SmState> sms;
   // Aggregate queue depths at trip time.
   std::uint64_t icnt_in_flight = 0;   // injection + in-transit + delivery

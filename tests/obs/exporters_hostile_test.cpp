@@ -1,0 +1,47 @@
+// Regression tests for exporter string handling: hostile app/config
+// names (quotes, backslashes, newlines, commas) must survive the JSON
+// report as parseable, exactly round-tripped strings. Guards the audit
+// documented in obs/exporters.h.
+#include "obs/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace dlpsim {
+namespace {
+
+TEST(ExportersHostile, JsonReportRoundTripsHostileIdentity) {
+  RunReportInfo info;
+  info.app = "BF\"S\\evil\nname";
+  info.config = "dlp,with\ttabs\"";
+  info.scale = 0.25;
+
+  const SimConfig cfg = SimConfig::Baseline16KB();
+  Metrics metrics;
+  metrics.l1d_accesses = 42;
+
+  std::ostringstream os;
+  WriteJsonReport(os, info, cfg, metrics);
+
+  bool ok = false;
+  const JsonValue doc = ParseJson(os.str(), &ok);
+  ASSERT_TRUE(ok) << os.str();
+  EXPECT_EQ(doc.Find("app")->string, info.app);
+  EXPECT_EQ(doc.Find("config")->string, info.config);
+  EXPECT_EQ(doc.Find("metrics")->U64("l1d_accesses"), 42u);
+}
+
+TEST(ExportersHostile, JsonEscapeCoversControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  // Literal splicing: "\x01b" would parse as hex 0x1b.
+  EXPECT_EQ(JsonEscape(std::string("nul\x01" "byte")), "nul\\u0001byte");
+}
+
+}  // namespace
+}  // namespace dlpsim
