@@ -297,6 +297,14 @@ void ExportProfile(const std::string& abbr, const std::string& config,
 
 RunResult SimulateUncached(const std::string& abbr, const std::string& config,
                            double scale) {
+  RunOverrides ov;
+  if (const char* spec = FaultSpec()) ov.fault_spec = spec;
+  ov.watchdog_cycles = env::U64("DLPSIM_WATCHDOG", 0);
+  return SimulateUncached(abbr, config, scale, ov);
+}
+
+RunResult SimulateUncached(const std::string& abbr, const std::string& config,
+                           double scale, const RunOverrides& overrides) {
   const SimConfig cfg = ConfigFor(config);
   Workload wl = MakeWorkload(abbr, scale);
 
@@ -332,17 +340,17 @@ RunResult SimulateUncached(const std::string& abbr, const std::string& config,
   // fault plan; DLPSIM_WATCHDOG=<cycles> arms the forward-progress
   // watchdog with that stall threshold.
   std::unique_ptr<robust::FaultInjector> injector;
-  if (const char* spec = FaultSpec()) {
+  if (!overrides.fault_spec.empty()) {
     robust::FaultPlan plan;
     std::string err;
-    if (!robust::FaultPlan::Parse(spec, &plan, &err)) {
+    if (!robust::FaultPlan::Parse(overrides.fault_spec, &plan, &err)) {
       throw std::invalid_argument("DLPSIM_FAULTS: " + err);
     }
     injector = std::make_unique<robust::FaultInjector>(plan);
     gpu.SetFaultInjector(injector.get());
   }
   std::unique_ptr<robust::Watchdog> watchdog;
-  if (const std::uint64_t stall = env::U64("DLPSIM_WATCHDOG", 0); stall > 0) {
+  if (const std::uint64_t stall = overrides.watchdog_cycles; stall > 0) {
     watchdog = std::make_unique<robust::Watchdog>(
         robust::WatchdogConfig{/*check_interval=*/1024,
                                /*stall_cycles=*/stall});
@@ -357,7 +365,8 @@ RunResult SimulateUncached(const std::string& abbr, const std::string& config,
   }
   if (watchdog != nullptr && watchdog->tripped()) {
     std::cerr << watchdog->diagnostic().ToText();
-    throw std::runtime_error(
+    throw robust::RunErrorException(
+        robust::RunError::kWatchdogStall,
         "watchdog: " + abbr + "/" + config + " made no forward progress for " +
         std::to_string(watchdog->config().stall_cycles) +
         " cycles (stalled resource: " +

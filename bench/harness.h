@@ -161,6 +161,22 @@ std::vector<RunResult> RunGrid(const std::vector<std::string>& apps,
 RunResult SimulateUncached(const std::string& abbr, const std::string& config,
                            double scale);
 
+/// Per-run resilience overrides for callers that must not mutate the
+/// process environment between runs (the dlpsim_server worker serves
+/// many requests from one process; setenv there would race and leak
+/// state across fault domains). Empty/zero fields mean "off" -- they do
+/// NOT fall back to the DLPSIM_FAULTS / DLPSIM_WATCHDOG env knobs.
+struct RunOverrides {
+  std::string fault_spec;             // robust::FaultPlan spec; "" = none
+  std::uint64_t watchdog_cycles = 0;  // stall threshold; 0 = off
+};
+
+/// SimulateUncached with explicit resilience hooks. A watchdog trip
+/// throws robust::RunErrorException(kWatchdogStall, ...) so process
+/// boundaries can forward the typed kind instead of string-matching.
+RunResult SimulateUncached(const std::string& abbr, const std::string& config,
+                           double scale, const RunOverrides& overrides);
+
 // --- on-disk cache plumbing (exposed for tests and tools) ---
 
 /// Cache file path for one cell (under DLPSIM_CACHE_DIR).

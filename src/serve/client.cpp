@@ -1,0 +1,260 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "sim/rng.h"
+
+namespace dlpsim::serve {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Connect(const std::string& socket_path, std::string* err) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "bad socket path: " + socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (err != nullptr) {
+      *err = "connect " + socket_path + ": " + std::strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::Call(const ExperimentRequest& req, ExperimentResponse* resp,
+                  std::string* err, int timeout_ms) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, FrameType::kRequest, req.Serialize(), err)) {
+    return false;
+  }
+  FrameType type{};
+  std::string payload;
+  const ReadStatus st = ReadFrame(fd_, &type, &payload, err, timeout_ms);
+  if (st != ReadStatus::kOk) {
+    if (err != nullptr && err->empty()) *err = ToString(st);
+    return false;
+  }
+  if (type != FrameType::kResponse) {
+    if (err != nullptr) {
+      *err = std::string("unexpected frame: ") + ToString(type);
+    }
+    return false;
+  }
+  return ExperimentResponse::Parse(payload, resp, err);
+}
+
+bool Client::CallWithRetry(const ExperimentRequest& req,
+                           ExperimentResponse* resp, int max_retries,
+                           std::string* err, int timeout_ms,
+                           std::uint64_t* retries_out) {
+  for (int attempt = 0;; ++attempt) {
+    if (!Call(req, resp, err, timeout_ms)) return false;
+    if (resp->error != robust::RunError::kQueueRejected ||
+        resp->retry_after_ms == 0 || attempt >= max_retries) {
+      return true;
+    }
+    if (retries_out != nullptr) ++*retries_out;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(resp->retry_after_ms));
+  }
+}
+
+bool Client::FetchMetrics(const std::string& what, std::string* out,
+                          std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, FrameType::kMetricsRequest, what, err)) return false;
+  FrameType type{};
+  const ReadStatus st = ReadFrame(fd_, &type, out, err);
+  if (st != ReadStatus::kOk || type != FrameType::kMetricsReply) {
+    if (err != nullptr && err->empty()) *err = ToString(st);
+    return false;
+  }
+  return true;
+}
+
+bool Client::Shutdown(std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, FrameType::kShutdown, "", err)) return false;
+  FrameType type{};
+  std::string payload;
+  const ReadStatus st = ReadFrame(fd_, &type, &payload, err);
+  if (st != ReadStatus::kOk || type != FrameType::kShutdownAck) {
+    if (err != nullptr && err->empty()) *err = ToString(st);
+    return false;
+  }
+  return true;
+}
+
+bool Client::Ping(std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, FrameType::kPing, "", err)) return false;
+  FrameType type{};
+  std::string payload;
+  const ReadStatus st = ReadFrame(fd_, &type, &payload, err);
+  if (st != ReadStatus::kOk || type != FrameType::kPong) {
+    if (err != nullptr && err->empty()) *err = ToString(st);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Defaults mirror the bench grid: real registry abbreviations and the
+// named configurations of bench::ConfigFor (a stub worker ignores them,
+// a real worker simulates them).
+const std::vector<std::string>& DefaultApps() {
+  static const std::vector<std::string> v = {"BFS", "NW", "MM",  "KM",
+                                             "SS",  "BT", "STR"};
+  return v;
+}
+
+const std::vector<std::string>& DefaultConfigs() {
+  static const std::vector<std::string> v = {"base", "dlp", "sb"};
+  return v;
+}
+
+const std::vector<double>& DefaultScales() {
+  static const std::vector<double> v = {0.25, 0.5, 1.0};
+  return v;
+}
+
+}  // namespace
+
+ExperimentRequest MakeLoadGenRequest(const LoadGenOptions& opts,
+                                     std::uint64_t i) {
+  const std::vector<std::string>& apps =
+      opts.apps.empty() ? DefaultApps() : opts.apps;
+  const std::vector<std::string>& configs =
+      opts.configs.empty() ? DefaultConfigs() : opts.configs;
+  const std::vector<double>& scales =
+      opts.scales.empty() ? DefaultScales() : opts.scales;
+
+  const std::uint64_t h = dlpsim::HashMix(opts.seed, i);
+  ExperimentRequest req;
+  req.id = i + 1;  // ids are 1-based; 0 reads as "unset"
+  req.app = apps[h % apps.size()];
+  req.config = configs[(h >> 8) % configs.size()];
+  req.scale = scales[(h >> 16) % scales.size()];
+  req.deadline_ms = opts.deadline_ms;
+  if (opts.chaos_pct > 0 && (h >> 24) % 100 < opts.chaos_pct) {
+    // Content-driven fault injection: the worker crashes on attempt 1
+    // and serves the retry, so outcome counters stay functions of the
+    // stream. nocache keeps the (nondeterministically scheduled)
+    // single-flight machinery out of failing keys.
+    req.chaos = "crash:1";
+    req.nocache = true;
+  }
+  return req;
+}
+
+bool RunLoadGen(const LoadGenOptions& opts, LoadGenStats* stats,
+                std::string* err) {
+  const std::size_t conc =
+      opts.concurrency == 0 ? 1 : opts.concurrency;
+
+  std::vector<Client> clients(conc);
+  for (std::size_t t = 0; t < conc; ++t) {
+    if (!clients[t].Connect(opts.socket_path, err)) return false;
+  }
+
+  std::mutex mu;  // guards *stats
+  std::vector<std::thread> threads;
+  threads.reserve(conc);
+  for (std::size_t t = 0; t < conc; ++t) {
+    threads.emplace_back([&, t] {
+      LoadGenStats local;
+      for (std::uint64_t i = t; i < opts.requests; i += conc) {
+        const ExperimentRequest req = MakeLoadGenRequest(opts, i);
+        ExperimentResponse resp;
+        std::string call_err;
+        ++local.sent;
+        if (!clients[t].CallWithRetry(req, &resp, opts.reject_retries,
+                                      &call_err, opts.timeout_ms,
+                                      &local.reject_retries)) {
+          ++local.transport_errors;
+          ++local.failures_by_kind["transport: " + call_err];
+          continue;
+        }
+        if (resp.ok()) {
+          ++local.ok;
+          if (resp.cached) ++local.cached;
+        } else {
+          ++local.failed;
+          ++local.failures_by_kind[std::string(
+              robust::ToString(resp.error))];
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      stats->sent += local.sent;
+      stats->ok += local.ok;
+      stats->failed += local.failed;
+      stats->cached += local.cached;
+      stats->transport_errors += local.transport_errors;
+      stats->reject_retries += local.reject_retries;
+      for (const auto& [k, v] : local.failures_by_kind) {
+        stats->failures_by_kind[k] += v;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return true;
+}
+
+}  // namespace dlpsim::serve

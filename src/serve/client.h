@@ -1,0 +1,116 @@
+// Client side of dlpsim-as-a-service: a blocking single-connection
+// client plus a deterministic replaying load generator.
+//
+// A Client owns one AF_UNIX connection and issues one request at a
+// time (write kRequest, read kResponse). The load generator opens one
+// Client per concurrent "virtual user"; virtual user t replays the
+// request stream indices t, t+C, t+2C, ... so the SET of requests is a
+// pure function of (seed, total, chaos_pct) -- independent of thread
+// scheduling. That is what lets the serve stress suite demand a
+// byte-identical deterministic metrics dump across two replays.
+//
+// Fault-injected requests (every (100/chaos_pct)-th slot of the
+// deterministic stream) carry a content-driven chaos directive
+// ("crash:1": the worker aborts on attempt 1 and succeeds on attempt 2)
+// and set nocache, so their retry/crash counters are also functions of
+// the stream alone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace dlpsim::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a server's AF_UNIX socket.
+  bool Connect(const std::string& socket_path, std::string* err = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One blocking request/response round trip. Returns false only on
+  /// transport failure (typed failures arrive as a normal response).
+  bool Call(const ExperimentRequest& req, ExperimentResponse* resp,
+            std::string* err = nullptr, int timeout_ms = -1);
+
+  /// Call(), but on kQueueRejected with a retry hint sleeps
+  /// retry_after_ms and resends, up to `max_retries` times. The final
+  /// response may still be kQueueRejected (e.g. the server is draining).
+  /// When non-null, *retries_out is incremented once per resend.
+  bool CallWithRetry(const ExperimentRequest& req, ExperimentResponse* resp,
+                     int max_retries, std::string* err = nullptr,
+                     int timeout_ms = -1,
+                     std::uint64_t* retries_out = nullptr);
+
+  /// Fetches a metrics exposition: "deterministic", "prom" or "json".
+  bool FetchMetrics(const std::string& what, std::string* out,
+                    std::string* err = nullptr);
+
+  /// Requests a graceful drain; true once the server acks.
+  bool Shutdown(std::string* err = nullptr);
+
+  /// Liveness probe (kPing/kPong round trip).
+  bool Ping(std::string* err = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Deterministic load-generator parameters.
+struct LoadGenOptions {
+  std::string socket_path;
+  std::uint64_t requests = 1000;
+  std::size_t concurrency = 8;
+  std::uint64_t seed = 42;
+  /// Percent (0..100) of request slots that carry a "crash:1" chaos
+  /// directive (worker aborts on attempt 1; request succeeds on retry).
+  std::uint64_t chaos_pct = 0;
+  std::uint64_t deadline_ms = 0;       // 0 = server default
+  int reject_retries = 200;            // CallWithRetry budget per request
+  int timeout_ms = 120000;             // transport timeout per round trip
+  /// The mixed grid a request slot is drawn from (index = HashMix of
+  /// seed and slot). Empty = a built-in app/config grid.
+  std::vector<std::string> apps;
+  std::vector<std::string> configs;
+  std::vector<double> scales;
+};
+
+/// Outcome of a replay. `accounted` is the invariant the chaos/stress
+/// suites assert: every request ended as exactly one of ok / typed
+/// failure -- nothing lost, nothing double-counted.
+struct LoadGenStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;           // typed failures (incl. rejects)
+  std::uint64_t cached = 0;           // ok responses with cached=true
+  std::uint64_t transport_errors = 0; // Call() itself failed
+  std::uint64_t reject_retries = 0;   // resends after kQueueRejected
+  std::map<std::string, std::uint64_t> failures_by_kind;
+  bool accounted() const {
+    return sent == ok + failed + transport_errors;
+  }
+};
+
+/// Materializes request slot `i` of the deterministic stream (exposed
+/// so tests can pin the stream itself).
+ExperimentRequest MakeLoadGenRequest(const LoadGenOptions& opts,
+                                     std::uint64_t i);
+
+/// Replays opts.requests requests over opts.concurrency connections.
+/// Returns false (with *err) only when a connection could not even be
+/// established; per-request failures are data in *stats.
+bool RunLoadGen(const LoadGenOptions& opts, LoadGenStats* stats,
+                std::string* err = nullptr);
+
+}  // namespace dlpsim::serve

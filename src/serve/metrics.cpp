@@ -1,0 +1,92 @@
+#include "serve/metrics.h"
+
+#include <array>
+
+namespace dlpsim::serve {
+
+namespace {
+// Attempt counts are tiny integers; latencies span us..10s.
+constexpr std::array<std::uint64_t, 4> kAttemptBounds = {1, 2, 3, 4};
+constexpr std::array<std::uint64_t, 7> kLatencyBoundsUs = {
+    100, 1'000, 10'000, 100'000, 1'000'000, 3'000'000, 10'000'000};
+}  // namespace
+
+ServeMetrics::ServeMetrics(obs::Registry& r) {
+  requests_total = r.GetCounter("serve", "requests_total",
+                                "experiment requests accepted off a socket");
+  responses_ok = r.GetCounter("serve", "responses_ok",
+                              "requests served with error=none");
+  responses_failed = r.GetCounter(
+      "serve", "responses_failed", "requests that ended in a typed failure");
+  rejected_queue_full =
+      r.GetCounter("serve", "rejected_queue_full",
+                   "requests rejected because the admission queue was full");
+  rejected_draining = r.GetCounter(
+      "serve", "rejected_draining",
+      "requests rejected because the server was draining on SIGTERM");
+  cache_hits = r.GetCounter("serve", "cache_hits",
+                            "requests served from the content-addressed "
+                            "cache (disk hits + coalesced duplicates)");
+  cache_stores = r.GetCounter("serve", "cache_stores",
+                              "results written to the content-addressed cache");
+  worker_crashes = r.GetCounter(
+      "serve", "worker_crashes",
+      "worker process deaths observed (segfault/abort/SIGKILL/exit)");
+  worker_restarts = r.GetCounter("serve", "worker_restarts",
+                                 "worker respawns after a death");
+  deadline_kills = r.GetCounter(
+      "serve", "deadline_kills",
+      "workers SIGKILLed because a request deadline expired");
+  retries = r.GetCounter("serve", "retries",
+                         "extra request attempts consumed by retry");
+  runs_executed = r.GetCounter("serve", "runs_executed",
+                               "requests dispatched to a worker process");
+  queue_depth =
+      r.GetGauge("serve", "queue_depth", "admitted requests awaiting dispatch");
+  inflight = r.GetGauge("serve", "inflight",
+                        "requests currently executing on a worker");
+  request_attempts =
+      r.GetHistogram("serve", "request_attempts", kAttemptBounds,
+                     "attempts consumed per terminal response");
+  latency_us = r.GetHistogram("serve_wall", "latency_us", kLatencyBoundsUs,
+                              "request latency, admission to response");
+  queue_wait_us = r.GetHistogram("serve_wall", "queue_wait_us",
+                                 kLatencyBoundsUs,
+                                 "queue wait, admission to dispatch");
+}
+
+ServeMetrics& ServeMetrics::Global() {
+  static ServeMetrics m(obs::Registry::Global());
+  return m;
+}
+
+void WriteDeterministicText(std::ostream& os, const obs::Registry& registry) {
+  os << "# serve-metrics v1 (deterministic scope only)\n";
+  for (const obs::MetricSample& s : registry.Snapshot()) {
+    if (s.info.scope != "serve") continue;
+    switch (s.info.kind) {
+      case obs::MetricKind::kCounter:
+        os << s.info.name << ' ' << s.counter << '\n';
+        break;
+      case obs::MetricKind::kGauge:
+        os << s.info.name << ' ' << s.gauge << '\n';
+        break;
+      case obs::MetricKind::kHistogram: {
+        for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+          os << s.info.name << "_le_";
+          if (i < s.bounds.size()) {
+            os << s.bounds[i];
+          } else {
+            os << "inf";
+          }
+          os << ' ' << s.bucket_counts[i] << '\n';
+        }
+        os << s.info.name << "_count " << s.count << '\n';
+        os << s.info.name << "_sum " << s.sum << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dlpsim::serve

@@ -1,0 +1,66 @@
+// Server metrics, registered in the PR-6 obs/ metrics registry.
+//
+// Two scopes with different determinism contracts:
+//
+//   "serve"      -- pure functions of the request stream and the worker
+//                   outcomes: request/response counters by kind, cache
+//                   hits/stores, worker crashes/restarts, retries, the
+//                   attempts histogram and the queue-depth/inflight
+//                   gauges (0 at quiescence). Under a deterministic load
+//                   replay (fixed seed, content-driven faults, fresh
+//                   cache dir, no rejections) two runs produce
+//                   byte-identical dumps at ANY worker count -- the
+//                   serve stress suite pins this.
+//   "serve_wall" -- wall-clock latency histograms (request end-to-end,
+//                   queue wait). Real telemetry, never deterministic, so
+//                   WriteDeterministicText excludes the scope.
+//
+// Prometheus exposition of everything (both scopes plus the rest of the
+// process) remains obs::Registry::Global().WriteText().
+#pragma once
+
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace dlpsim::serve {
+
+struct ServeMetrics {
+  // Admission / outcome counters.
+  obs::Counter* requests_total;      // every request frame accepted
+  obs::Counter* responses_ok;        // error == kNone
+  obs::Counter* responses_failed;    // typed failure (not rejection)
+  obs::Counter* rejected_queue_full; // kQueueRejected: bounded queue full
+  obs::Counter* rejected_draining;   // kQueueRejected: server draining
+  // Content-addressed cache.
+  obs::Counter* cache_hits;    // disk hits + single-flight coalesced
+  obs::Counter* cache_stores;
+  // Fault domains.
+  obs::Counter* worker_crashes;   // worker process deaths observed
+  obs::Counter* worker_restarts;  // respawns (initial spawns excluded)
+  obs::Counter* deadline_kills;   // workers SIGKILLed on deadline expiry
+  obs::Counter* retries;          // extra attempts consumed
+  obs::Counter* runs_executed;    // requests actually sent to a worker
+  // Occupancy gauges (deterministically 0 at quiescence).
+  obs::Gauge* queue_depth;
+  obs::Gauge* inflight;
+  // Attempts per terminal response (deterministic under replay).
+  obs::Histogram* request_attempts;
+  // Wall-clock telemetry (scope "serve_wall"; excluded from the
+  // deterministic dump).
+  obs::Histogram* latency_us;     // admission -> response written
+  obs::Histogram* queue_wait_us;  // admission -> dispatch
+
+  /// Registers (get-or-create) every instrument in `registry`.
+  explicit ServeMetrics(obs::Registry& registry);
+
+  /// The process-global instance, registered in Registry::Global().
+  static ServeMetrics& Global();
+};
+
+/// Writes every "serve"-scoped instrument (and nothing else) as sorted
+/// "name value" / histogram-bucket lines under a versioned header. This
+/// is the dump the stress suite compares byte-for-byte across replays.
+void WriteDeterministicText(std::ostream& os, const obs::Registry& registry);
+
+}  // namespace dlpsim::serve

@@ -1,0 +1,175 @@
+#include "serve/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "exec/timing.h"
+
+namespace dlpsim::serve {
+
+const char* ToString(FrameType t) {
+  switch (t) {
+    case FrameType::kRequest:
+      return "request";
+    case FrameType::kResponse:
+      return "response";
+    case FrameType::kMetricsRequest:
+      return "metrics_request";
+    case FrameType::kMetricsReply:
+      return "metrics_reply";
+    case FrameType::kShutdown:
+      return "shutdown";
+    case FrameType::kShutdownAck:
+      return "shutdown_ack";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+  }
+  return "?";
+}
+
+const char* ToString(ReadStatus s) {
+  switch (s) {
+    case ReadStatus::kOk:
+      return "ok";
+    case ReadStatus::kEof:
+      return "eof";
+    case ReadStatus::kError:
+      return "error";
+    case ReadStatus::kTimeout:
+      return "timeout";
+    case ReadStatus::kMalformed:
+      return "malformed";
+  }
+  return "?";
+}
+
+namespace {
+
+void SetErr(std::string* err, const char* what) {
+  if (err != nullptr) {
+    *err = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+/// Sends all of `data`, retrying partial sends and EINTR. MSG_NOSIGNAL:
+/// a dead peer is EPIPE, never SIGPIPE.
+bool SendAll(int fd, const char* data, std::size_t len, std::string* err) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetErr(err, "send");
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void PutU32(char* p, std::uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t GetU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Receives exactly `len` bytes within the remaining budget. `first_byte`
+/// distinguishes "EOF at a frame boundary" (orderly) from "EOF mid-frame"
+/// (peer died mid-message -- reported as an error).
+ReadStatus RecvAll(int fd, char* out, std::size_t len, bool at_frame_start,
+                   const exec::Stopwatch& clock, int timeout_ms,
+                   std::string* err) {
+  std::size_t off = 0;
+  while (off < len) {
+    if (timeout_ms >= 0) {
+      const double elapsed_ms = clock.Seconds() * 1000.0;
+      const double remain = static_cast<double>(timeout_ms) - elapsed_ms;
+      if (remain <= 0) return ReadStatus::kTimeout;
+      struct pollfd pfd{fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(remain) + 1);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        SetErr(err, "poll");
+        return ReadStatus::kError;
+      }
+      if (pr == 0) return ReadStatus::kTimeout;
+    }
+    const ssize_t n = ::recv(fd, out + off, len - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetErr(err, "recv");
+      return ReadStatus::kError;
+    }
+    if (n == 0) {
+      if (at_frame_start && off == 0) return ReadStatus::kEof;
+      if (err != nullptr) *err = "connection closed mid-frame";
+      return ReadStatus::kError;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace
+
+bool WriteFrame(int fd, FrameType type, std::string_view payload,
+                std::string* err) {
+  if (payload.size() > kMaxFramePayload) {
+    if (err != nullptr) *err = "payload exceeds kMaxFramePayload";
+    return false;
+  }
+  char header[kFrameHeaderBytes];
+  PutU32(header, kFrameMagic);
+  header[4] = static_cast<char>(type);
+  header[5] = 0;
+  header[6] = 0;
+  header[7] = 0;
+  PutU32(header + 8, static_cast<std::uint32_t>(payload.size()));
+  if (!SendAll(fd, header, sizeof(header), err)) return false;
+  return payload.empty() || SendAll(fd, payload.data(), payload.size(), err);
+}
+
+ReadStatus ReadFrame(int fd, FrameType* type, std::string* payload,
+                     std::string* err, int timeout_ms) {
+  const exec::Stopwatch clock;
+  unsigned char header[kFrameHeaderBytes];
+  ReadStatus st = RecvAll(fd, reinterpret_cast<char*>(header), sizeof(header),
+                          /*at_frame_start=*/true, clock, timeout_ms, err);
+  if (st != ReadStatus::kOk) return st;
+
+  if (GetU32(header) != kFrameMagic || header[5] != 0 || header[6] != 0 ||
+      header[7] != 0) {
+    if (err != nullptr) *err = "bad frame header (magic/reserved)";
+    return ReadStatus::kMalformed;
+  }
+  const std::uint32_t len = GetU32(header + 8);
+  if (len > kMaxFramePayload) {
+    if (err != nullptr) {
+      *err = "frame payload length " + std::to_string(len) +
+             " exceeds the 64 MiB cap";
+    }
+    return ReadStatus::kMalformed;
+  }
+  if (type != nullptr) *type = static_cast<FrameType>(header[4]);
+
+  payload->resize(len);
+  if (len == 0) return ReadStatus::kOk;
+  st = RecvAll(fd, payload->data(), len, /*at_frame_start=*/false, clock,
+               timeout_ms, err);
+  return st;
+}
+
+}  // namespace dlpsim::serve

@@ -1,0 +1,73 @@
+// Length-prefixed frame protocol for dlpsim-as-a-service.
+//
+// Every message on a serve socket (client <-> server and server <->
+// worker) is one frame:
+//
+//   offset  size  field
+//   0       4     magic "DLPS" (0x44 0x4C 0x50 0x53)
+//   4       1     type (FrameType)
+//   5       1     flags (reserved, must be 0)
+//   6       2     reserved (must be 0)
+//   8       4     payload length N, little-endian
+//   12      N     payload bytes
+//
+// Payloads are text (see serve/request.h for the request/response
+// grammar); the framing itself is 8-bit clean. Frames above
+// kMaxFramePayload are rejected before any allocation so a corrupt or
+// hostile length prefix can not OOM the server.
+//
+// All I/O goes through send/recv with MSG_NOSIGNAL so a peer that died
+// mid-conversation produces EPIPE (handled as data) instead of SIGPIPE
+// (process death) -- essential for a daemon whose workers are expected
+// to crash. Reads and writes retry on EINTR and handle partial
+// transfers; ReadFrame optionally enforces a wall-clock budget via
+// poll(), which is how per-request deadlines are enforced against a
+// wedged worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dlpsim::serve {
+
+inline constexpr std::uint32_t kFrameMagic = 0x53504C44u;  // "DLPS" LE
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,       // ExperimentRequest text
+  kResponse = 2,      // ExperimentResponse text (+ result payload)
+  kMetricsRequest = 3,  // payload: "deterministic" | "prom" | "json"
+  kMetricsReply = 4,    // payload: the requested exposition
+  kShutdown = 5,      // admin: begin graceful drain
+  kShutdownAck = 6,   // server acknowledges the drain request
+  kPing = 7,
+  kPong = 8,
+};
+
+const char* ToString(FrameType t);
+
+enum class ReadStatus {
+  kOk,         // a complete, well-formed frame was read
+  kEof,        // orderly close before any byte of this frame
+  kError,      // socket error (errno-style detail in *err)
+  kTimeout,    // the budget expired mid-frame or before one arrived
+  kMalformed,  // bad magic / nonzero reserved bits / oversized payload
+};
+
+const char* ToString(ReadStatus s);
+
+/// Writes one frame, handling partial sends and EINTR. Returns false on
+/// any socket error (detail in *err when non-null).
+bool WriteFrame(int fd, FrameType type, std::string_view payload,
+                std::string* err = nullptr);
+
+/// Reads one complete frame. `timeout_ms` < 0 blocks forever; otherwise
+/// it is a budget over the whole frame (poll before every recv). A
+/// malformed header consumes the connection -- the caller must close it;
+/// resynchronizing a length-prefixed stream is not possible.
+ReadStatus ReadFrame(int fd, FrameType* type, std::string* payload,
+                     std::string* err = nullptr, int timeout_ms = -1);
+
+}  // namespace dlpsim::serve

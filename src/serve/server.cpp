@@ -1,0 +1,375 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace dlpsim::serve {
+
+namespace {
+
+std::uint64_t MicrosOf(const exec::Stopwatch& sw) {
+  const double us = sw.Seconds() * 1e6;
+  return us <= 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+std::string DefaultKeyFn(const ExperimentRequest& req) {
+  return ContentKey(req.config, WorkloadTraceRef(req.app, req.scale));
+}
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      metrics_(opts_.metrics != nullptr ? opts_.metrics
+                                        : &ServeMetrics::Global()),
+      registry_(opts_.registry != nullptr ? opts_.registry
+                                          : &obs::Registry::Global()),
+      cache_(opts_.cache_dir) {
+  if (!opts_.key_fn) opts_.key_fn = DefaultKeyFn;
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  pool_ = std::make_unique<WorkerPool>(opts_.worker, opts_.workers);
+}
+
+Server::~Server() { Stop(); }
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+bool Server::Start(std::string* err) {
+  if (opts_.socket_path.empty()) {
+    if (err != nullptr) *err = "socket_path is required";
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + opts_.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    if (err != nullptr) {
+      *err = std::string("bind/listen ") + opts_.socket_path + ": " +
+             std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
+    if (err != nullptr) *err = std::string("pipe2: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  dispatchers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    dispatchers_.emplace_back([this, i] { DispatchLoop(i); });
+  }
+  return true;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || draining()) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = cfd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    FrameType type{};
+    std::string payload;
+    const ReadStatus st = ReadFrame(conn->fd, &type, &payload);
+    if (st != ReadStatus::kOk) return;  // EOF, error or malformed: close
+
+    switch (type) {
+      case FrameType::kPing: {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        WriteFrame(conn->fd, FrameType::kPong, "");
+        break;
+      }
+      case FrameType::kRequest: {
+        metrics_->requests_total->Add();
+        ExperimentRequest req;
+        std::string err;
+        if (!ExperimentRequest::Parse(payload, &req, &err)) {
+          ExperimentResponse resp;
+          resp.error = robust::RunError::kRunFailed;
+          resp.detail = "bad request: " + err;
+          metrics_->responses_failed->Add();
+          Respond(conn, resp);
+          break;
+        }
+        Admit(conn, std::move(req));
+        break;
+      }
+      case FrameType::kMetricsRequest:
+        HandleMetricsRequest(conn, payload);
+        break;
+      case FrameType::kShutdown: {
+        // Begin the drain but do NOT join threads from here (this IS a
+        // reader thread); the owner observes draining() and calls
+        // Stop(), which completes the teardown.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          draining_ = true;
+        }
+        queue_cv_.notify_all();
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        WriteFrame(conn->fd, FrameType::kShutdownAck, "");
+        break;
+      }
+      default:
+        // Unknown frame type: protocol violation; drop the connection.
+        return;
+    }
+  }
+}
+
+void Server::Admit(const std::shared_ptr<Conn>& conn, ExperimentRequest req) {
+  ExperimentResponse reject;
+  reject.id = req.id;
+  reject.error = robust::RunError::kQueueRejected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      reject.detail = "server is draining";
+      metrics_->rejected_draining->Add();
+    } else if (queue_.size() >= opts_.queue_capacity) {
+      reject.detail = "admission queue full (" +
+                      std::to_string(opts_.queue_capacity) + ")";
+      reject.retry_after_ms = opts_.retry_after_ms;
+      metrics_->rejected_queue_full->Add();
+    } else {
+      Job job;
+      job.req = std::move(req);
+      job.conn = conn;
+      queue_.push_back(std::move(job));
+      metrics_->queue_depth->Add(1);
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  Respond(conn, reject);
+}
+
+void Server::DispatchLoop(std::size_t slot) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and nothing left to serve
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_->queue_depth->Sub(1);
+    }
+    metrics_->queue_wait_us->Observe(MicrosOf(job.admitted));
+    ServeJob(slot, job);
+  }
+}
+
+ExperimentResponse Server::RunOnWorker(std::size_t slot,
+                                       const ExperimentRequest& req) {
+  RetryBudget budget = opts_.budget;
+  if (req.deadline_ms != 0) budget.deadline_ms = req.deadline_ms;
+  return pool_->slot(slot).Execute(pool_->spec(), req, budget, metrics_);
+}
+
+void Server::ServeJob(std::size_t slot, Job& job) {
+  metrics_->inflight->Add(1);
+  const std::string key = job.req.nocache ? "" : opts_.key_fn(job.req);
+
+  ExperimentResponse resp;
+  if (key.empty()) {
+    resp = RunOnWorker(slot, job.req);
+  } else {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(flights_mu_);
+      auto it = flights_.find(key);
+      if (it != flights_.end()) {
+        flight = it->second;
+      } else {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(key, flight);
+        leader = true;
+      }
+    }
+    if (leader) {
+      if (auto hit = cache_.Load(key)) {
+        resp.id = job.req.id;
+        resp.error = robust::RunError::kNone;
+        resp.result = std::move(*hit);
+        resp.cached = true;
+        metrics_->cache_hits->Add();
+      } else {
+        resp = RunOnWorker(slot, job.req);
+        if (resp.ok() && cache_.Store(key, resp.result)) {
+          metrics_->cache_stores->Add();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->resp = resp;
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+      std::lock_guard<std::mutex> lock(flights_mu_);
+      flights_.erase(key);
+    } else {
+      // Coalesced duplicate: wait for the leader's terminal response.
+      std::unique_lock<std::mutex> lock(flight->mu);
+      flight->cv.wait(lock, [&flight] { return flight->done; });
+      resp = flight->resp;
+      resp.id = job.req.id;
+      if (resp.ok()) {
+        resp.cached = true;
+        metrics_->cache_hits->Add();
+      }
+    }
+  }
+
+  if (resp.ok()) {
+    metrics_->responses_ok->Add();
+  } else {
+    metrics_->responses_failed->Add();
+  }
+  metrics_->latency_us->Observe(MicrosOf(job.admitted));
+  // Decrement BEFORE writing the response: once a client observes its
+  // reply, the gauges must already be quiescent (tests poll them).
+  metrics_->inflight->Sub(1);
+  Respond(job.conn, resp);
+}
+
+void Server::Respond(const std::shared_ptr<Conn>& conn,
+                     const ExperimentResponse& resp) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // A write failure means the client hung up; its request was still
+  // served (or typed-failed) and counted -- nothing to do.
+  WriteFrame(conn->fd, FrameType::kResponse, resp.Serialize());
+}
+
+void Server::HandleMetricsRequest(const std::shared_ptr<Conn>& conn,
+                                  const std::string& what) {
+  std::ostringstream os;
+  if (what == "deterministic") {
+    WriteDeterministicText(os, *registry_);
+  } else if (what == "json") {
+    registry_->WriteJson(os);
+  } else {
+    registry_->WriteText(os);  // "prom" and anything else
+  }
+  const std::string text = os.str();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  WriteFrame(conn->fd, FrameType::kMetricsReply, text);
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  // Nudge the accept loop out of poll().
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Dispatchers drain every admitted job before exiting: each admitted
+  // request gets exactly one response.
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+
+  // Now that all responses are written, sever the connections so the
+  // reader threads unblock, and join them.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (std::thread& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    readers_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) ::close(conn->fd);
+    conns_.clear();
+  }
+
+  for (std::size_t i = 0; i < pool_->size(); ++i) pool_->slot(i).Kill();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(opts_.socket_path.c_str());
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+}  // namespace dlpsim::serve

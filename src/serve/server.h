@@ -1,0 +1,160 @@
+// The dlpsim experiment server: crash-isolated, sharded, bounded.
+//
+// Threading model:
+//
+//   accept thread ---> one reader thread per connection
+//                          |  (admission control: bounded queue or
+//                          |   immediate kQueueRejected response)
+//                          v
+//                    bounded job queue
+//                          |
+//          dispatcher 0 .. dispatcher N-1   (one per worker slot)
+//                          |
+//                    WorkerSlot i           (fork/exec fault domain)
+//
+// Responses are written back on the originating connection under a
+// per-connection write mutex (several dispatchers may complete jobs
+// from one connection concurrently).
+//
+// Single-flight + content-addressed cache: requests whose content key
+// (KeyFn) matches an inflight execution wait for its result instead of
+// re-executing; completed ok-results are persisted in a ContentCache
+// keyed by config-hash x trace-hash x binary-version. Both disk hits
+// and coalesced duplicates count as serve.cache_hits, which makes the
+// hit count a pure function of the request stream (total ok responses
+// minus distinct ok keys) -- scheduling-independent, so the
+// deterministic metrics dump stays byte-identical across replays.
+// Failed runs are never cached; clients that inject faults should set
+// nocache so a failing key cannot be re-led by a later request (which
+// would make runs_executed timing-dependent).
+//
+// Graceful drain (Stop(), or the kShutdown admin frame): stop
+// accepting, reject new admissions with kQueueRejected("draining"),
+// serve everything already admitted, then tear down connections and
+// workers. Every admitted request gets exactly one response.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/timing.h"
+#include "serve/content_cache.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "serve/worker_pool.h"
+
+namespace dlpsim::serve {
+
+/// Maps a request to its content-address key; return "" to bypass the
+/// cache and single-flight for that request.
+using KeyFn = std::function<std::string(const ExperimentRequest&)>;
+
+/// Default key: ContentKey over the raw config text and the workload
+/// trace ref. Tools with richer knowledge (e.g. a canonicalized
+/// SimConfig) inject their own.
+std::string DefaultKeyFn(const ExperimentRequest& req);
+
+struct ServerOptions {
+  std::string socket_path;      // AF_UNIX listen address (required)
+  WorkerSpec worker;            // how to exec worker processes
+  std::size_t workers = 4;      // fault domains == dispatcher threads
+  std::size_t queue_capacity = 64;  // admitted-but-undispatched bound
+  RetryBudget budget;           // default per-request retry/deadline
+  std::uint64_t retry_after_ms = 50;  // hint on queue-full rejections
+  std::filesystem::path cache_dir;    // empty = cache disabled
+  KeyFn key_fn;                 // null = DefaultKeyFn
+  ServeMetrics* metrics = nullptr;    // null = ServeMetrics::Global()
+  const obs::Registry* registry = nullptr;  // for kMetricsRequest;
+                                            // null = Registry::Global()
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept/dispatcher threads. Returns
+  /// false (with detail in *err) if the socket could not be set up.
+  bool Start(std::string* err = nullptr);
+
+  /// Begins a graceful drain and blocks until every admitted request
+  /// has been answered and all threads have exited. Idempotent.
+  void Stop();
+
+  /// True once a drain has begun (Stop() or a kShutdown frame).
+  bool draining() const;
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+  struct Job {
+    ExperimentRequest req;
+    std::shared_ptr<Conn> conn;
+    exec::Stopwatch admitted;
+  };
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ExperimentResponse resp;  // template; waiters re-stamp id/cached
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void DispatchLoop(std::size_t slot);
+
+  /// Admission control; writes the kQueueRejected response itself when
+  /// the request cannot be queued.
+  void Admit(const std::shared_ptr<Conn>& conn, ExperimentRequest req);
+  void Respond(const std::shared_ptr<Conn>& conn,
+               const ExperimentResponse& resp);
+  void ServeJob(std::size_t slot, Job& job);
+  ExperimentResponse RunOnWorker(std::size_t slot,
+                                 const ExperimentRequest& req);
+  void HandleMetricsRequest(const std::shared_ptr<Conn>& conn,
+                            const std::string& what);
+
+  ServerOptions opts_;
+  ServeMetrics* metrics_;
+  const obs::Registry* registry_;
+  ContentCache cache_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // nudges poll() in AcceptLoop on Stop
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool draining_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  std::mutex flights_mu_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> dispatchers_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace dlpsim::serve

@@ -1,0 +1,119 @@
+#include "serve/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "serve/protocol.h"
+
+namespace dlpsim::serve {
+
+namespace {
+
+/// Parses "kind:N" chaos directives. Returns true when `directive` is
+/// `kind` and the request's attempt is within the injection window.
+bool ChaosActive(const std::string& directive, const char* kind,
+                 int attempt) {
+  const std::string prefix = std::string(kind) + ":";
+  if (directive.rfind(prefix, 0) != 0) return false;
+  const int upto = std::atoi(directive.c_str() + prefix.size());
+  return attempt <= upto;
+}
+
+}  // namespace
+
+void MaybeInjectChaos(const ExperimentRequest& req, bool enabled) {
+  if (!enabled || req.chaos.empty()) return;
+  if (ChaosActive(req.chaos, "crash", req.attempt)) {
+    // Dies with SIGABRT -- the pool sees EOF and a signal exit status.
+    std::abort();
+  }
+  if (ChaosActive(req.chaos, "exit", req.attempt)) {
+    // Abnormal-but-clean death (no signal); still a crash to the pool.
+    std::_Exit(3);
+  }
+  if (ChaosActive(req.chaos, "spin", req.attempt)) {
+    // Wedge past any reasonable deadline; the pool SIGKILLs us.
+    std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+}
+
+int WorkerLoop(int fd, const Runner& runner, bool chaos_enabled) {
+  for (;;) {
+    FrameType type{};
+    std::string payload;
+    std::string err;
+    const ReadStatus st = ReadFrame(fd, &type, &payload, &err);
+    if (st == ReadStatus::kEof) return 0;  // pool closed us: orderly exit
+    if (st != ReadStatus::kOk) return 1;
+
+    if (type == FrameType::kPing) {
+      if (!WriteFrame(fd, FrameType::kPong, "")) return 1;
+      continue;
+    }
+    if (type != FrameType::kRequest) return 1;
+
+    ExperimentRequest req;
+    ExperimentResponse resp;
+    if (!ExperimentRequest::Parse(payload, &req, &err)) {
+      resp.error = robust::RunError::kRunFailed;
+      resp.detail = "worker could not parse request: " + err;
+      if (!WriteFrame(fd, FrameType::kResponse, resp.Serialize())) return 1;
+      continue;
+    }
+    resp.id = req.id;
+
+    MaybeInjectChaos(req, chaos_enabled);
+
+    try {
+      WorkerResult r = runner(req);
+      resp.error = r.error;
+      resp.detail = std::move(r.detail);
+      resp.result = std::move(r.result);
+    } catch (const robust::RunErrorException& e) {
+      resp.error = e.kind();
+      resp.detail = e.what();
+    } catch (const std::exception& e) {
+      resp.error = robust::RunError::kRunFailed;
+      resp.detail = e.what();
+    } catch (...) {
+      resp.error = robust::RunError::kRunFailed;
+      resp.detail = "unknown exception in worker runner";
+    }
+    if (!WriteFrame(fd, FrameType::kResponse, resp.Serialize())) return 1;
+  }
+}
+
+WorkerResult StubRunner(const ExperimentRequest& req) {
+  WorkerResult out;
+  if (req.app == "echo") {
+    std::ostringstream os;
+    os << "echo " << req.id << '\n';
+    out.result = os.str();
+  } else if (req.app == "work") {
+    const int ms = std::atoi(req.config.c_str());
+    if (ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    std::ostringstream os;
+    os << "worked " << ms << "ms\n";
+    out.result = os.str();
+  } else if (req.app == "fail") {
+    out.error = robust::RunError::kRunFailed;
+    out.detail = "synthetic failure";
+  } else if (req.app == "stall") {
+    out.error = robust::RunError::kWatchdogStall;
+    out.detail = "synthetic stall";
+  } else {
+    std::ostringstream os;
+    os << "stub " << req.app << '/' << req.config << " scale " << req.scale
+       << '\n';
+    out.result = os.str();
+  }
+  return out;
+}
+
+}  // namespace dlpsim::serve

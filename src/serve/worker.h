@@ -1,0 +1,63 @@
+// Worker-process side of the experiment server.
+//
+// A worker is a single-threaded child process (fork/exec'd by
+// serve::WorkerPool) that speaks the frame protocol over an inherited
+// socketpair fd: read one kRequest, run it, write one kResponse, repeat
+// until EOF. Everything that can go wrong *inside* a request -- the
+// simulation throwing, a watchdog trip, fault injection -- is caught and
+// reported as a typed kResponse; everything that kills the process --
+// segfault, abort, SIGKILL, a wedged run -- is detected by the pool on
+// the other end of the socketpair (EOF or deadline) and handled there.
+// That split is the fault-domain design: a worker can die at any
+// instruction without taking any state the server needs with it.
+//
+// The actual simulation is injected as a Runner so the protocol and
+// fault-domain machinery are testable without simulating anything:
+// tools/dlpsim_server installs a bench-harness runner, the test suite's
+// stub worker installs StubRunner.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "robust/error.h"
+#include "serve/request.h"
+
+namespace dlpsim::serve {
+
+/// Outcome of running one experiment inside the worker.
+struct WorkerResult {
+  robust::RunError error = robust::RunError::kNone;
+  std::string detail;  // what() when error != kNone
+  std::string result;  // metrics+profile text when error == kNone
+};
+
+/// Executes one request. Must not touch the worker's protocol fd. May
+/// throw -- the loop converts exceptions to typed failures.
+using Runner = std::function<WorkerResult(const ExperimentRequest&)>;
+
+/// Fd the pool dup2()s the worker's socketpair end onto before exec.
+inline constexpr int kWorkerProtocolFd = 3;
+
+/// Applies the request's chaos directive, if any ("crash:N" aborts,
+/// "exit:N" _exits(3), "spin:N" sleeps for 3600s, each while
+/// request.attempt <= N). No-op when `enabled` is false or the directive
+/// is empty/unknown. Exposed for the stub worker and tests.
+void MaybeInjectChaos(const ExperimentRequest& req, bool enabled);
+
+/// The worker main loop. Returns the process exit code: 0 after an
+/// orderly EOF from the pool, 1 on a protocol error. `chaos_enabled`
+/// gates MaybeInjectChaos (production servers leave it off so a hostile
+/// client cannot crash workers at will).
+int WorkerLoop(int fd, const Runner& runner, bool chaos_enabled);
+
+/// Deterministic synthetic runner for tests and load benchmarks -- no
+/// simulation, microsecond-fast:
+///   app "echo"       -> ok, result "echo <id>\n"
+///   app "work"       -> ok after sleeping `config` milliseconds
+///   app "fail"       -> kRunFailed, detail "synthetic failure"
+///   app "stall"      -> kWatchdogStall, detail "synthetic stall"
+///   anything else    -> ok, result "stub <app>/<config> scale <scale>\n"
+WorkerResult StubRunner(const ExperimentRequest& req);
+
+}  // namespace dlpsim::serve

@@ -1,0 +1,267 @@
+#include "serve/worker_pool.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "exec/timing.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/worker.h"
+
+namespace dlpsim::serve {
+
+namespace {
+
+void Backoff(const RetryBudget& budget, int attempt) {
+  if (budget.backoff_ms == 0 || attempt < 2) return;
+  // backoff_ms * 2^(attempt-2), capped so a long retry chain cannot
+  // sleep past any plausible deadline.
+  const std::uint64_t shift = static_cast<std::uint64_t>(attempt - 2);
+  const std::uint64_t ms =
+      shift >= 10 ? budget.backoff_ms << 10 : budget.backoff_ms << shift;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(ms > 2000 ? 2000 : ms));
+}
+
+std::string DescribeStatus(int status) {
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  if (WIFEXITED(status)) {
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+}  // namespace
+
+WorkerSlot::~WorkerSlot() { Kill(); }
+
+bool WorkerSlot::Spawn(const WorkerSpec& spec, std::string* err) {
+  Kill();
+  if (spec.argv.empty()) {
+    if (err != nullptr) *err = "empty worker argv";
+    return false;
+  }
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+    if (err != nullptr) {
+      *err = std::string("socketpair: ") + std::strerror(errno);
+    }
+    return false;
+  }
+
+  // argv + "--worker-fd <n>".
+  std::vector<std::string> args = spec.argv;
+  args.push_back("--worker-fd");
+  args.push_back(std::to_string(kWorkerProtocolFd));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (err != nullptr) *err = std::string("fork: ") + std::strerror(errno);
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec. Move our end of
+    // the socketpair onto the protocol fd; dup2 clears CLOEXEC on the
+    // duplicate, and every other serve fd was opened CLOEXEC, so the
+    // worker inherits exactly one descriptor of ours.
+    if (sv[1] == kWorkerProtocolFd) {
+      const int flags = ::fcntl(sv[1], F_GETFD);
+      if (flags < 0 ||
+          ::fcntl(sv[1], F_SETFD, flags & ~FD_CLOEXEC) < 0) {
+        ::_exit(126);
+      }
+    } else if (::dup2(sv[1], kWorkerProtocolFd) < 0) {
+      ::_exit(126);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed
+  }
+
+  ::close(sv[1]);
+  pid_ = pid;
+  fd_ = sv[0];
+  return true;
+}
+
+void WorkerSlot::Reap() {
+  if (pid_ <= 0) return;
+  int status = 0;
+  // The child is dead or dying (EOF observed or SIGKILL sent); a
+  // blocking wait cannot hang. EINTR is retried.
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  last_death_ = DescribeStatus(status);
+  pid_ = -1;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WorkerSlot::Kill() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  Reap();
+}
+
+ExperimentResponse WorkerSlot::Execute(const WorkerSpec& spec,
+                                       const ExperimentRequest& req,
+                                       const RetryBudget& budget,
+                                       ServeMetrics* metrics) {
+  const exec::Stopwatch clock;
+  const int max_attempts = budget.max_attempts < 1 ? 1 : budget.max_attempts;
+
+  ExperimentResponse resp;
+  resp.id = req.id;
+  int crashes = 0;
+
+  const auto remaining_ms = [&]() -> std::int64_t {
+    if (budget.deadline_ms == 0) return -1;  // unbounded
+    const double elapsed = clock.Seconds() * 1000.0;
+    const double left = static_cast<double>(budget.deadline_ms) - elapsed;
+    return left <= 0 ? 0 : static_cast<std::int64_t>(left) + 1;
+  };
+
+  const auto finish = [&](robust::RunError e, std::string detail,
+                          int attempts) {
+    resp.error = e;
+    resp.detail = std::move(detail);
+    resp.attempts = attempts;
+    resp.worker_crashes = crashes;
+    if (metrics != nullptr) {
+      metrics->request_attempts->Observe(
+          static_cast<std::uint64_t>(attempts));
+      if (attempts > 1) {
+        metrics->retries->Add(static_cast<std::uint64_t>(attempts - 1));
+      }
+    }
+    return resp;
+  };
+
+  std::string last_failure = "never attempted";
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) Backoff(budget, attempt);
+    if (budget.deadline_ms != 0 && remaining_ms() == 0) {
+      return finish(robust::RunError::kDeadlineExceeded,
+                    "deadline of " + std::to_string(budget.deadline_ms) +
+                        "ms expired before attempt " +
+                        std::to_string(attempt) + " (last: " + last_failure +
+                        ")",
+                    attempt - 1);
+    }
+
+    std::string err;
+    if (!alive()) {
+      if (!Spawn(spec, &err)) {
+        last_failure = "spawn failed: " + err;
+        continue;  // maybe transient (EAGAIN); the budget bounds us
+      }
+    }
+
+    ExperimentRequest wire = req;
+    wire.attempt = attempt;
+    if (metrics != nullptr) metrics->runs_executed->Add();
+    if (!WriteFrame(fd_, FrameType::kRequest, wire.Serialize(), &err)) {
+      // The worker died between requests; treat exactly like a crash
+      // observed mid-request. SIGKILL first so a child that merely
+      // closed its fd cannot make the blocking reap hang.
+      Kill();
+      ++crashes;
+      if (metrics != nullptr) {
+        metrics->worker_crashes->Add();
+        metrics->worker_restarts->Add();
+      }
+      last_failure = "write failed (" + err + "), worker " + last_death_;
+      continue;
+    }
+
+    FrameType type{};
+    std::string payload;
+    const std::int64_t left = remaining_ms();
+    const ReadStatus st =
+        ReadFrame(fd_, &type, &payload, &err,
+                  left < 0 ? -1 : static_cast<int>(left));
+    if (st == ReadStatus::kTimeout) {
+      // The request's wall budget is gone: kill the wedged worker and
+      // report the deadline. No retry -- there is no time left to spend.
+      Kill();
+      if (metrics != nullptr) {
+        metrics->deadline_kills->Add();
+        metrics->worker_crashes->Add();
+        metrics->worker_restarts->Add();
+      }
+      ++crashes;
+      return finish(robust::RunError::kDeadlineExceeded,
+                    "deadline of " + std::to_string(budget.deadline_ms) +
+                        "ms expired on attempt " + std::to_string(attempt) +
+                        "; worker killed",
+                    attempt);
+    }
+    if (st != ReadStatus::kOk || type != FrameType::kResponse) {
+      // EOF, socket error or protocol corruption: the worker is gone or
+      // unusable. SIGKILL (a no-op on an already-dead child), reap, and
+      // retry on a fresh one.
+      Kill();
+      ++crashes;
+      if (metrics != nullptr) {
+        metrics->worker_crashes->Add();
+        metrics->worker_restarts->Add();
+      }
+      last_failure = "worker died (" + std::string(ToString(st)) +
+                     (err.empty() ? "" : ": " + err) + "), " + last_death_;
+      continue;
+    }
+
+    ExperimentResponse worker_resp;
+    if (!ExperimentResponse::Parse(payload, &worker_resp, &err)) {
+      Kill();
+      ++crashes;
+      if (metrics != nullptr) {
+        metrics->worker_crashes->Add();
+        metrics->worker_restarts->Add();
+      }
+      last_failure = "unparsable worker response: " + err;
+      continue;
+    }
+
+    if (worker_resp.ok()) {
+      resp.error = robust::RunError::kNone;
+      resp.result = std::move(worker_resp.result);
+      return finish(robust::RunError::kNone, "", attempt);
+    }
+    // Typed in-run failure (fault injection, watchdog, bad workload):
+    // failure-as-data. Retry within budget; deterministic failures fail
+    // again and surface with their real kind and the attempt count.
+    last_failure = std::string(robust::ToString(worker_resp.error)) + ": " +
+                   worker_resp.detail;
+    if (attempt == max_attempts) {
+      return finish(worker_resp.error, worker_resp.detail, attempt);
+    }
+  }
+  return finish(robust::RunError::kWorkerCrash, last_failure, max_attempts);
+}
+
+WorkerPool::WorkerPool(WorkerSpec spec, std::size_t n) : spec_(std::move(spec)) {
+  slots_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+}
+
+}  // namespace dlpsim::serve

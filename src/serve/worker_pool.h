@@ -1,0 +1,107 @@
+// Process-isolated worker pool: the server's fault domains.
+//
+// Each slot owns one child process, fork/exec'd from WorkerSpec::argv
+// with one end of a socketpair dup2()d onto serve::kWorkerProtocolFd.
+// A slot is driven by exactly one server thread (its dispatcher), so no
+// fd is ever shared across threads.
+//
+// Execute() runs one request on a slot with a wall-clock deadline and a
+// retry budget:
+//   - worker replies ok            -> done
+//   - worker replies typed failure -> retried with exponential backoff
+//     (fault-injected runs are failures-as-data; the retry proves they
+//     fail deterministically, and the final response carries the typed
+//     kind + attempts)
+//   - worker dies (EOF / EPIPE)    -> reaped via waitpid, exit status
+//     recorded, slot respawned, request retried -> kWorkerCrash when the
+//     budget runs out
+//   - deadline expires             -> worker SIGKILLed + reaped + slot
+//     respawned, request fails kDeadlineExceeded (never retried: the
+//     request's wall-clock budget is already gone)
+//
+// Every worker death increments serve.worker_crashes / worker_restarts
+// on the caller's metrics hooks (see serve/metrics.h); a crash can never
+// take the server with it because the only shared state is a socketpair.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace dlpsim::serve {
+
+struct ServeMetrics;
+
+/// How to exec a worker. The pool appends "--worker-fd <n>" (with n ==
+/// kWorkerProtocolFd) to argv. argv[0] must be an absolute or
+/// CWD-relative executable path.
+struct WorkerSpec {
+  std::vector<std::string> argv;
+};
+
+/// Retry/backoff budget for one request.
+struct RetryBudget {
+  int max_attempts = 3;
+  std::uint64_t backoff_ms = 10;  // sleep before attempt k: backoff << (k-2)
+  std::uint64_t deadline_ms = 30000;  // whole-request wall budget; 0 = none
+};
+
+/// One worker process slot. Not thread-safe: owned by one dispatcher.
+class WorkerSlot {
+ public:
+  WorkerSlot() = default;
+  ~WorkerSlot();
+  WorkerSlot(const WorkerSlot&) = delete;
+  WorkerSlot& operator=(const WorkerSlot&) = delete;
+
+  /// Forks and execs a fresh worker; returns false (with detail in *err)
+  /// when the child could not be spawned.
+  bool Spawn(const WorkerSpec& spec, std::string* err);
+
+  bool alive() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// Runs the request to a terminal response. Never throws. `metrics`
+  /// may be null (the standalone-pool tests pass null).
+  ExperimentResponse Execute(const WorkerSpec& spec,
+                             const ExperimentRequest& req,
+                             const RetryBudget& budget,
+                             ServeMetrics* metrics);
+
+  /// SIGKILLs and reaps the current child, if any.
+  void Kill();
+
+  /// Human-readable description of the last observed child death
+  /// ("signal 9", "exit 3"); empty before any death.
+  const std::string& last_death() const { return last_death_; }
+
+ private:
+  /// Waits for the child to exit and records last_death_.
+  void Reap();
+
+  pid_t pid_ = -1;
+  int fd_ = -1;
+  std::string last_death_;
+};
+
+/// Fixed-size pool: slot i belongs to dispatcher thread i.
+class WorkerPool {
+ public:
+  WorkerPool(WorkerSpec spec, std::size_t n);
+  ~WorkerPool() = default;  // slots kill their children
+
+  std::size_t size() const { return slots_.size(); }
+  WorkerSlot& slot(std::size_t i) { return *slots_[i]; }
+  const WorkerSpec& spec() const { return spec_; }
+
+ private:
+  WorkerSpec spec_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+};
+
+}  // namespace dlpsim::serve

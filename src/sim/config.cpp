@@ -164,4 +164,63 @@ void SimConfig::ValidateOrThrow() const {
   if (!issues.empty()) throw ConfigError(std::move(issues));
 }
 
+std::string CanonicalText(const SimConfig& c) {
+  std::ostringstream os;
+  const auto geom = [&os](const char* prefix, const CacheGeometry& g) {
+    os << prefix << ".sets " << g.sets << '\n';
+    os << prefix << ".ways " << g.ways << '\n';
+    os << prefix << ".line_bytes " << g.line_bytes << '\n';
+    os << prefix << ".index " << static_cast<int>(g.index) << '\n';
+  };
+  os << "config_format v1\n";
+  os << "num_cores " << c.num_cores << '\n';
+  os << "num_partitions " << c.num_partitions << '\n';
+  os << "core.warp_size " << c.core.warp_size << '\n';
+  os << "core.max_warps " << c.core.max_warps << '\n';
+  os << "core.num_schedulers " << c.core.num_schedulers << '\n';
+  os << "core.ldst_width " << c.core.ldst_width << '\n';
+  os << "core.ldst_queue_entries " << c.core.ldst_queue_entries << '\n';
+  os << "core.alu_latency " << c.core.alu_latency << '\n';
+  os << "core.sfu_latency " << c.core.sfu_latency << '\n';
+  geom("l1d.geom", c.l1d.geom);
+  os << "l1d.write_policy " << static_cast<int>(c.l1d.write_policy) << '\n';
+  os << "l1d.mshr_entries " << c.l1d.mshr_entries << '\n';
+  os << "l1d.mshr_max_merged " << c.l1d.mshr_max_merged << '\n';
+  os << "l1d.miss_queue_entries " << c.l1d.miss_queue_entries << '\n';
+  os << "l1d.hit_latency " << c.l1d.hit_latency << '\n';
+  os << "l1d.policy " << static_cast<int>(c.l1d.policy) << '\n';
+  os << "l1d.prot.sample_accesses " << c.l1d.prot.sample_accesses << '\n';
+  os << "l1d.prot.sample_max_cycles " << c.l1d.prot.sample_max_cycles << '\n';
+  os << "l1d.prot.pdpt_entries " << c.l1d.prot.pdpt_entries << '\n';
+  os << "l1d.prot.insn_id_bits " << c.l1d.prot.insn_id_bits << '\n';
+  os << "l1d.prot.pd_bits " << c.l1d.prot.pd_bits << '\n';
+  os << "l1d.prot.vta_ways " << c.l1d.prot.vta_ways << '\n';
+  os << "l1d.prot.tda_hit_bits " << c.l1d.prot.tda_hit_bits << '\n';
+  os << "l1d.prot.vta_hit_bits " << c.l1d.prot.vta_hit_bits << '\n';
+  geom("l2.geom", c.l2.geom);
+  os << "l2.mshr_entries " << c.l2.mshr_entries << '\n';
+  os << "l2.mshr_max_merged " << c.l2.mshr_max_merged << '\n';
+  os << "l2.miss_queue_entries " << c.l2.miss_queue_entries << '\n';
+  os << "l2.latency " << c.l2.latency << '\n';
+  os << "dram.banks " << c.dram.banks << '\n';
+  os << "dram.row_bytes " << c.dram.row_bytes << '\n';
+  os << "dram.t_row_hit " << c.dram.t_row_hit << '\n';
+  os << "dram.t_row_miss " << c.dram.t_row_miss << '\n';
+  os << "dram.t_rc " << c.dram.t_rc << '\n';
+  os << "dram.bus_bytes_per_cycle " << c.dram.bus_bytes_per_cycle << '\n';
+  os << "icnt.latency " << c.icnt.latency << '\n';
+  os << "icnt.bytes_per_cycle_per_port " << c.icnt.bytes_per_cycle_per_port
+     << '\n';
+  os << "icnt.request_size " << c.icnt.request_size << '\n';
+  os << "icnt.control_overhead " << c.icnt.control_overhead << '\n';
+  os << "core_mhz " << c.core_mhz << '\n';
+  os << "icnt_mhz " << c.icnt_mhz << '\n';
+  os << "mem_mhz " << c.mem_mhz << '\n';
+  os << "partition_chunk_bytes " << c.partition_chunk_bytes << '\n';
+  os << "other_traffic_bytes " << c.other_traffic_bytes << '\n';
+  os << "other_traffic_per_insns " << c.other_traffic_per_insns << '\n';
+  os << "max_core_cycles " << c.max_core_cycles << '\n';
+  return os.str();
+}
+
 }  // namespace dlpsim

@@ -1,0 +1,237 @@
+// Chaos suite (satellite of the serving PR): the server must survive
+// 100+ injected worker crashes under concurrent load, retrying crashed
+// requests behind the callers' backs, and surface budget-exhausting
+// faults as structured typed failures -- never as lost requests or a
+// dead server.
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+namespace dlpsim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    stem_ = "chaos_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++);
+  }
+
+  void TearDown() override {
+    server_.reset();
+    std::error_code ec;
+    fs::remove_all(stem_ + ".cache", ec);
+    fs::remove(stem_ + ".sock", ec);
+  }
+
+  void StartServer(std::size_t workers) {
+    fs::create_directories(stem_ + ".cache");
+    registry_ = std::make_unique<obs::Registry>();
+    metrics_ = std::make_unique<ServeMetrics>(*registry_);
+    ServerOptions opts;
+    opts.socket_path = stem_ + ".sock";
+    opts.worker.argv = {DLPSIM_STUB_WORKER};
+    opts.workers = workers;
+    opts.queue_capacity = 256;
+    opts.budget.max_attempts = 3;
+    opts.budget.backoff_ms = 1;
+    opts.budget.deadline_ms = 20000;
+    opts.cache_dir = stem_ + ".cache";
+    opts.metrics = metrics_.get();
+    opts.registry = registry_.get();
+    server_ = std::make_unique<Server>(std::move(opts));
+    std::string err;
+    ASSERT_TRUE(server_->Start(&err)) << err;
+  }
+
+  std::string stem_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<ServeMetrics> metrics_;
+  std::unique_ptr<Server> server_;
+};
+
+// The headline chaos invariant: 100+ worker crashes injected under
+// 8-way concurrent load; zero lost requests, every crash retried to
+// success, server and metrics coherent afterwards.
+TEST_F(ChaosTest, Survives100CrashInjectionsUnderLoad) {
+  StartServer(4);
+
+  LoadGenOptions load;
+  load.socket_path = stem_ + ".sock";
+  load.requests = 500;
+  load.concurrency = 8;
+  load.seed = 42;
+  load.chaos_pct = 25;  // ~125 crash:1 injections out of 500
+  LoadGenStats stats;
+  std::string err;
+  ASSERT_TRUE(RunLoadGen(load, &stats, &err)) << err;
+
+  // Count the injections the deterministic stream actually carries.
+  std::uint64_t injected = 0;
+  for (std::uint64_t i = 0; i < load.requests; ++i) {
+    if (!MakeLoadGenRequest(load, i).chaos.empty()) ++injected;
+  }
+  ASSERT_GE(injected, 100u) << "stream carries too few injections";
+
+  // Nothing lost, nothing stuck: every request came back ok ("crash:1"
+  // faults succeed on the retry attempt).
+  EXPECT_EQ(stats.sent, load.requests);
+  EXPECT_TRUE(stats.accounted());
+  EXPECT_EQ(stats.transport_errors, 0u);
+  EXPECT_EQ(stats.ok, load.requests);
+  EXPECT_EQ(stats.failed, 0u);
+
+  // Every injection really did kill a worker process, and every death
+  // was followed by a respawn.
+  EXPECT_EQ(metrics_->worker_crashes->Value(), injected);
+  EXPECT_EQ(metrics_->worker_restarts->Value(), injected);
+  EXPECT_EQ(metrics_->retries->Value(), injected);
+
+  // The server is still alive and serving.
+  Client c;
+  ASSERT_TRUE(c.Connect(stem_ + ".sock"));
+  EXPECT_TRUE(c.Ping());
+  ExperimentRequest r;
+  r.id = 1;
+  r.app = "echo";
+  r.config = "x";
+  ExperimentResponse resp;
+  ASSERT_TRUE(c.Call(r, &resp));
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+
+  // Quiescent gauges.
+  EXPECT_EQ(metrics_->queue_depth->Value(), 0);
+  EXPECT_EQ(metrics_->inflight->Value(), 0);
+}
+
+// A fault that exhausts the whole retry budget must come back as a
+// STRUCTURED failure -- typed kind, attempt count, crash evidence --
+// not a hung connection or a lost request.
+TEST_F(ChaosTest, BudgetExhaustingCrashSurfacesAsStructuredFailure) {
+  StartServer(2);
+  Client c;
+  ASSERT_TRUE(c.Connect(stem_ + ".sock"));
+
+  ExperimentRequest r;
+  r.id = 77;
+  r.app = "echo";
+  r.config = "x";
+  r.chaos = "crash:99";  // crashes on every attempt
+  r.nocache = true;
+  ExperimentResponse resp;
+  ASSERT_TRUE(c.Call(r, &resp));
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error, robust::RunError::kWorkerCrash);
+  EXPECT_EQ(resp.attempts, 3);
+  EXPECT_EQ(resp.worker_crashes, 3);
+  EXPECT_NE(resp.detail.find("signal 6"), std::string::npos) << resp.detail;
+  EXPECT_EQ(metrics_->responses_failed->Value(), 1u);
+
+  // The fault domain is rebuilt: the same connection serves clean work.
+  r.chaos.clear();
+  r.id = 78;
+  ASSERT_TRUE(c.Call(r, &resp));
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+}
+
+// A wedged worker (spins past the deadline) is SIGKILLed and the
+// request typed kDeadlineExceeded; the slot recovers.
+TEST_F(ChaosTest, WedgedWorkerIsDeadlineKilledAndSlotRecovers) {
+  StartServer(1);
+  Client c;
+  ASSERT_TRUE(c.Connect(stem_ + ".sock"));
+
+  ExperimentRequest r;
+  r.id = 1;
+  r.app = "echo";
+  r.config = "x";
+  r.chaos = "spin:9";
+  r.nocache = true;
+  r.deadline_ms = 300;  // per-request deadline overrides the server's
+  ExperimentResponse resp;
+  ASSERT_TRUE(c.Call(r, &resp));
+  EXPECT_EQ(resp.error, robust::RunError::kDeadlineExceeded);
+  EXPECT_EQ(resp.attempts, 1);  // deadline kills are never retried
+  EXPECT_EQ(metrics_->deadline_kills->Value(), 1u);
+
+  r.chaos.clear();
+  r.deadline_ms = 0;
+  r.id = 2;
+  ASSERT_TRUE(c.Call(r, &resp));
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+}
+
+// Mixed clean/fault/failure traffic: the accounting invariant (every
+// request ends exactly once, as ok or a typed failure) holds even when
+// typed failures and crashes interleave with cacheable work.
+TEST_F(ChaosTest, MixedFaultTrafficIsFullyAccounted) {
+  StartServer(4);
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::vector<std::thread> threads;
+  std::vector<LoadGenStats> per(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client c;
+      if (!c.Connect(stem_ + ".sock")) {
+        per[t].transport_errors = kPerClient;
+        per[t].sent = kPerClient;
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        ExperimentRequest r;
+        r.id = static_cast<std::uint64_t>(t * kPerClient + i + 1);
+        r.config = "x";
+        switch (i % 4) {
+          case 0: r.app = "echo"; break;
+          case 1: r.app = "fail"; r.nocache = true; break;
+          case 2: r.app = "echo"; r.chaos = "crash:1"; r.nocache = true;
+                  break;
+          case 3: r.app = "stubby"; break;  // cacheable across clients
+        }
+        ExperimentResponse resp;
+        ++per[t].sent;
+        if (!c.CallWithRetry(r, &resp, 200)) {
+          ++per[t].transport_errors;
+        } else if (resp.ok()) {
+          ++per[t].ok;
+        } else {
+          ++per[t].failed;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LoadGenStats total;
+  for (const auto& s : per) {
+    total.sent += s.sent;
+    total.ok += s.ok;
+    total.failed += s.failed;
+    total.transport_errors += s.transport_errors;
+  }
+  EXPECT_EQ(total.sent, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_TRUE(total.accounted());
+  EXPECT_EQ(total.transport_errors, 0u);
+  // Exactly the "fail" slots (i % 4 == 1: six of 25 per client) fail
+  // with a typed kind; everything else succeeds.
+  EXPECT_EQ(total.failed, static_cast<std::uint64_t>(kClients * 6));
+  EXPECT_EQ(metrics_->responses_ok->Value(), total.ok);
+  EXPECT_EQ(metrics_->responses_failed->Value(), total.failed);
+}
+
+}  // namespace
+}  // namespace dlpsim::serve

@@ -1,0 +1,63 @@
+// Exhaustive RunError <-> string round trip (satellite of the serving
+// PR: every request-level failure kind must survive the wire protocol).
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "robust/error.h"
+
+namespace dlpsim::robust {
+namespace {
+
+TEST(RunErrorRoundTrip, EveryKindRoundTripsThroughItsName) {
+  for (const RunError e : kAllRunErrors) {
+    const char* name = ToString(e);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "unnamed RunError value "
+                            << static_cast<int>(e);
+    RunError parsed = RunError::kNone;
+    EXPECT_TRUE(ParseRunError(name, &parsed)) << name;
+    EXPECT_EQ(parsed, e) << name;
+  }
+}
+
+TEST(RunErrorRoundTrip, NamesAreUniqueAndExhaustive) {
+  std::set<std::string> names;
+  for (const RunError e : kAllRunErrors) names.insert(ToString(e));
+  EXPECT_EQ(names.size(), kAllRunErrors.size());
+
+  // kAllRunErrors must cover the enum: probing values beyond the array
+  // must hit the "?" fallback, i.e. there is no named value the array
+  // does not list.
+  const auto beyond =
+      static_cast<RunError>(static_cast<int>(kAllRunErrors.size()));
+  EXPECT_STREQ(ToString(beyond), "?");
+}
+
+TEST(RunErrorRoundTrip, ServeKindsHaveTheDocumentedNames) {
+  EXPECT_STREQ(ToString(RunError::kWorkerCrash), "worker_crash");
+  EXPECT_STREQ(ToString(RunError::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(ToString(RunError::kQueueRejected), "queue_rejected");
+}
+
+TEST(RunErrorRoundTrip, ParseRejectsUnknownNames) {
+  RunError out = RunError::kCycleBudget;
+  EXPECT_FALSE(ParseRunError("", &out));
+  EXPECT_FALSE(ParseRunError("nonesuch", &out));
+  EXPECT_FALSE(ParseRunError("None", &out));           // case-sensitive
+  EXPECT_FALSE(ParseRunError("worker_crash ", &out));  // no trimming
+  EXPECT_FALSE(ParseRunError("?", &out));  // fallback text is not a name
+  EXPECT_EQ(out, RunError::kCycleBudget);  // untouched on failure
+}
+
+TEST(RunErrorRoundTrip, ExceptionCarriesKindAndMessage) {
+  const RunErrorException e(RunError::kWatchdogStall, "no progress");
+  EXPECT_EQ(e.kind(), RunError::kWatchdogStall);
+  EXPECT_STREQ(e.what(), "no progress");
+  // It is a runtime_error, so generic catch sites keep working.
+  EXPECT_NE(dynamic_cast<const std::runtime_error*>(&e), nullptr);
+}
+
+}  // namespace
+}  // namespace dlpsim::robust

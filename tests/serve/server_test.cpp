@@ -1,0 +1,385 @@
+// End-to-end server tests over a real AF_UNIX socket with fork/exec'd
+// stub workers: serving, caching + single-flight, admission control,
+// graceful drain, metrics exposition.
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+
+namespace dlpsim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One isolated server per fixture: own registry (metric counts start
+/// at zero), own socket path, own cache dir; everything cleaned up.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    stem_ = "sv_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++);
+    fs::create_directories(stem_ + ".cache");
+  }
+
+  void TearDown() override {
+    server_.reset();
+    std::error_code ec;
+    fs::remove_all(stem_ + ".cache", ec);
+    fs::remove(stem_ + ".sock", ec);
+  }
+
+  void StartServer(std::size_t workers, std::size_t queue,
+                   bool with_cache = true,
+                   std::uint64_t deadline_ms = 20000) {
+    registry_ = std::make_unique<obs::Registry>();
+    metrics_ = std::make_unique<ServeMetrics>(*registry_);
+    ServerOptions opts;
+    opts.socket_path = stem_ + ".sock";
+    opts.worker.argv = {DLPSIM_STUB_WORKER};
+    opts.workers = workers;
+    opts.queue_capacity = queue;
+    opts.budget.max_attempts = 3;
+    opts.budget.backoff_ms = 1;
+    opts.budget.deadline_ms = deadline_ms;
+    opts.retry_after_ms = 5;
+    if (with_cache) opts.cache_dir = stem_ + ".cache";
+    opts.metrics = metrics_.get();
+    opts.registry = registry_.get();
+    server_ = std::make_unique<Server>(std::move(opts));
+    std::string err;
+    ASSERT_TRUE(server_->Start(&err)) << err;
+  }
+
+  Client Connect() {
+    Client c;
+    std::string err;
+    EXPECT_TRUE(c.Connect(stem_ + ".sock", &err)) << err;
+    return c;
+  }
+
+  static ExperimentRequest Req(std::uint64_t id, const std::string& app,
+                               const std::string& config = "x") {
+    ExperimentRequest r;
+    r.id = id;
+    r.app = app;
+    r.config = config;
+    return r;
+  }
+
+  std::string stem_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<ServeMetrics> metrics_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, ServesARequestEndToEnd) {
+  StartServer(2, 16);
+  Client c = Connect();
+  ExperimentResponse resp;
+  std::string err;
+  ASSERT_TRUE(c.Call(Req(7, "echo"), &resp, &err)) << err;
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+  EXPECT_EQ(resp.id, 7u);
+  EXPECT_EQ(resp.result, "echo 7\n");
+  EXPECT_FALSE(resp.cached);
+  EXPECT_EQ(metrics_->requests_total->Value(), 1u);
+  EXPECT_EQ(metrics_->responses_ok->Value(), 1u);
+}
+
+TEST_F(ServerTest, PingPong) {
+  StartServer(1, 4);
+  Client c = Connect();
+  std::string err;
+  EXPECT_TRUE(c.Ping(&err)) << err;
+}
+
+TEST_F(ServerTest, SecondIdenticalRequestIsACacheHit) {
+  StartServer(2, 16);
+  Client c = Connect();
+  ExperimentResponse first;
+  ExperimentResponse second;
+  ASSERT_TRUE(c.Call(Req(1, "stubby"), &first));
+  ASSERT_TRUE(c.Call(Req(2, "stubby"), &second));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.result, first.result);
+  EXPECT_EQ(second.id, 2u);  // response re-stamped with the caller's id
+  EXPECT_EQ(metrics_->cache_hits->Value(), 1u);
+  EXPECT_EQ(metrics_->cache_stores->Value(), 1u);
+  EXPECT_EQ(metrics_->runs_executed->Value(), 1u);
+}
+
+TEST_F(ServerTest, NocacheRequestBypassesTheCache) {
+  StartServer(1, 16);
+  Client c = Connect();
+  ExperimentRequest r = Req(1, "stubby");
+  r.nocache = true;
+  ExperimentResponse a;
+  ExperimentResponse b;
+  ASSERT_TRUE(c.Call(r, &a));
+  ASSERT_TRUE(c.Call(r, &b));
+  EXPECT_FALSE(a.cached);
+  EXPECT_FALSE(b.cached);
+  EXPECT_EQ(metrics_->cache_hits->Value(), 0u);
+  EXPECT_EQ(metrics_->runs_executed->Value(), 2u);
+}
+
+TEST_F(ServerTest, ConcurrentDuplicatesCoalesceToOneExecution) {
+  StartServer(4, 64);
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<ExperimentResponse> resps(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client c = Connect();
+      // "work 150" is slow enough that all 8 arrive while the first
+      // executes; single-flight must coalesce them onto one run.
+      c.Call(Req(static_cast<std::uint64_t>(i + 1), "work", "150"),
+             &resps[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(resps[i].ok()) << resps[i].detail;
+    EXPECT_EQ(resps[i].id, static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(metrics_->runs_executed->Value(), 1u);
+  EXPECT_EQ(metrics_->cache_hits->Value(), static_cast<std::uint64_t>(
+                                               kClients - 1));
+}
+
+TEST_F(ServerTest, FullQueueRejectsWithRetryAfter) {
+  // One worker, queue of one: concurrent slow requests must overflow.
+  StartServer(1, 1);
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::vector<ExperimentResponse> resps(kClients);
+  std::vector<bool> transported(kClients, false);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client c = Connect();
+      ExperimentRequest r = Req(static_cast<std::uint64_t>(i + 1), "work",
+                                "200");
+      r.nocache = true;  // defeat single-flight so each occupies a slot
+      transported[i] = c.Call(r, &resps[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int ok = 0;
+  int rejected = 0;
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(transported[i]);
+    if (resps[i].ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resps[i].error, robust::RunError::kQueueRejected);
+      EXPECT_EQ(resps[i].retry_after_ms, 5u);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kClients);  // every request got a response
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(ok, 1);  // at least whoever won the queue slot
+  EXPECT_EQ(metrics_->rejected_queue_full->Value(),
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST_F(ServerTest, RejectedClientSucceedsViaRetryLoop) {
+  StartServer(1, 1);
+  constexpr int kClients = 5;
+  std::vector<std::thread> threads;
+  std::vector<ExperimentResponse> resps(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client c = Connect();
+      ExperimentRequest r = Req(static_cast<std::uint64_t>(i + 1), "work",
+                                "50");
+      r.nocache = true;
+      c.CallWithRetry(r, &resps[i], /*max_retries=*/200);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(resps[i].ok()) << resps[i].detail;  // backpressure, not loss
+  }
+}
+
+TEST_F(ServerTest, MetricsExpositionOverTheWire) {
+  StartServer(1, 4);
+  Client c = Connect();
+  ExperimentResponse resp;
+  ASSERT_TRUE(c.Call(Req(1, "echo"), &resp));
+
+  std::string det;
+  std::string prom;
+  std::string json;
+  ASSERT_TRUE(c.FetchMetrics("deterministic", &det));
+  ASSERT_TRUE(c.FetchMetrics("prom", &prom));
+  ASSERT_TRUE(c.FetchMetrics("json", &json));
+  EXPECT_NE(det.find("# serve-metrics v1"), std::string::npos);
+  EXPECT_NE(det.find("responses_ok 1"), std::string::npos);
+  // Wall-clock scope is excluded from the deterministic dump but
+  // present in the Prometheus exposition.
+  EXPECT_EQ(det.find("latency_us"), std::string::npos);
+  EXPECT_NE(prom.find("dlpsim_serve_wall_latency_us"), std::string::npos);
+  EXPECT_NE(prom.find("dlpsim_serve_responses_ok"), std::string::npos);
+  EXPECT_NE(json.find("responses_ok"), std::string::npos);
+}
+
+TEST_F(ServerTest, TypedFailureReachesTheClient) {
+  StartServer(1, 4);
+  Client c = Connect();
+  ExperimentRequest r = Req(1, "fail");
+  r.nocache = true;
+  ExperimentResponse resp;
+  ASSERT_TRUE(c.Call(r, &resp));
+  EXPECT_EQ(resp.error, robust::RunError::kRunFailed);
+  EXPECT_EQ(resp.detail, "synthetic failure");
+  EXPECT_EQ(resp.attempts, 3);
+  EXPECT_EQ(metrics_->responses_failed->Value(), 1u);
+}
+
+TEST_F(ServerTest, MalformedRequestGetsTypedResponseNotDisconnect) {
+  StartServer(1, 4);
+  Client c = Connect();
+  ExperimentResponse resp;
+  // Missing config: the server answers kRunFailed instead of dropping
+  // the connection.
+  ExperimentRequest r;
+  r.id = 1;
+  r.app = "echo";
+  ASSERT_TRUE(c.Call(r, &resp));
+  EXPECT_EQ(resp.error, robust::RunError::kRunFailed);
+  EXPECT_NE(resp.detail.find("bad request"), std::string::npos);
+  // The connection still works.
+  ASSERT_TRUE(c.Call(Req(2, "echo", "x"), &resp));
+  EXPECT_TRUE(resp.ok());
+}
+
+TEST_F(ServerTest, ShutdownFrameBeginsDrainAndRejectsNewWork) {
+  StartServer(1, 4);
+  Client c = Connect();
+  std::string err;
+  ASSERT_TRUE(c.Shutdown(&err)) << err;
+  EXPECT_TRUE(server_->draining());
+
+  ExperimentResponse resp;
+  ASSERT_TRUE(c.Call(Req(1, "echo"), &resp));
+  EXPECT_EQ(resp.error, robust::RunError::kQueueRejected);
+  EXPECT_NE(resp.detail.find("draining"), std::string::npos);
+  EXPECT_EQ(metrics_->rejected_draining->Value(), 1u);
+
+  server_->Stop();
+  // The socket is gone: a fresh connect must fail.
+  Client late;
+  EXPECT_FALSE(late.Connect(stem_ + ".sock"));
+}
+
+TEST_F(ServerTest, StopDrainsInflightWorkBeforeExiting) {
+  StartServer(2, 32);
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::vector<ExperimentResponse> resps(kClients);
+  std::vector<bool> transported(kClients, false);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client c = Connect();
+      ExperimentRequest r = Req(static_cast<std::uint64_t>(i + 1), "work",
+                                "100");
+      r.nocache = true;
+      transported[i] = c.Call(r, &resps[i]);
+    });
+  }
+  // Give the requests time to be admitted, then drain mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server_->Stop();
+  for (auto& t : threads) t.join();
+
+  // Drain contract: every ADMITTED request is answered before teardown.
+  // (All six were sent before Stop(), so each either got served or --
+  // had it raced the drain flag -- was rejected as draining; none may
+  // see a dead socket.)
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(transported[i]) << "request " << i << " lost in drain";
+    EXPECT_TRUE(resps[i].ok() ||
+                resps[i].error == robust::RunError::kQueueRejected)
+        << resps[i].detail;
+  }
+  // Gauges are exactly zero at quiescence.
+  EXPECT_EQ(metrics_->queue_depth->Value(), 0);
+  EXPECT_EQ(metrics_->inflight->Value(), 0);
+}
+
+TEST_F(ServerTest, WorkerCountDoesNotChangeCacheBytes) {
+  // Satellite: the same request set at workers=1 and workers=8 must
+  // leave byte-identical content-addressed cache trees.
+  auto run_grid = [&](std::size_t workers, const std::string& cache_dir) {
+    fs::create_directories(cache_dir);
+    obs::Registry reg;
+    ServeMetrics metrics(reg);
+    ServerOptions opts;
+    opts.socket_path = stem_ + ".sock";
+    opts.worker.argv = {DLPSIM_STUB_WORKER};
+    opts.workers = workers;
+    opts.queue_capacity = 128;
+    opts.cache_dir = cache_dir;
+    opts.metrics = &metrics;
+    opts.registry = &reg;
+    Server server(std::move(opts));
+    std::string err;
+    ASSERT_TRUE(server.Start(&err)) << err;
+
+    LoadGenOptions load;
+    load.socket_path = stem_ + ".sock";
+    load.requests = 120;
+    load.concurrency = workers == 1 ? 1 : 8;
+    load.seed = 99;
+    LoadGenStats stats;
+    ASSERT_TRUE(RunLoadGen(load, &stats, &err)) << err;
+    EXPECT_EQ(stats.ok, stats.sent);
+    server.Stop();
+  };
+
+  const std::string dir1 = stem_ + ".cache1";
+  const std::string dir8 = stem_ + ".cache8";
+  run_grid(1, dir1);
+  run_grid(8, dir8);
+
+  std::map<std::string, std::string> tree1;
+  std::map<std::string, std::string> tree8;
+  auto slurp = [](const std::string& dir,
+                  std::map<std::string, std::string>* out) {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      std::ifstream in(e.path(), std::ios::binary);
+      (*out)[e.path().filename().string()].assign(
+          std::istreambuf_iterator<char>(in), {});
+    }
+  };
+  slurp(dir1, &tree1);
+  slurp(dir8, &tree8);
+  EXPECT_FALSE(tree1.empty());
+  EXPECT_EQ(tree1, tree8);  // same names, same bytes
+
+  std::error_code ec;
+  fs::remove_all(dir1, ec);
+  fs::remove_all(dir8, ec);
+}
+
+}  // namespace
+}  // namespace dlpsim::serve

@@ -1,0 +1,21 @@
+// Minimal worker binary for the serve/ test suite: speaks the worker
+// protocol on --worker-fd and answers from serve::StubRunner. Chaos
+// directives are always honored (tests exist to inject faults).
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/worker.h"
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  bool chaos = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker-fd") == 0 && i + 1 < argc) {
+      fd = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-chaos") == 0) {
+      chaos = false;
+    }
+  }
+  if (fd < 0) return 2;
+  return dlpsim::serve::WorkerLoop(fd, dlpsim::serve::StubRunner, chaos);
+}

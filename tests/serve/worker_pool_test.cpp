@@ -1,0 +1,181 @@
+// Fault-domain worker slots: ok runs, typed failures as data, crash
+// retry with respawn, external SIGKILL mid-request, deadline
+// enforcement against wedged workers, and exec-failure surfacing.
+//
+// DLPSIM_STUB_WORKER is the serve_stub_worker binary path, injected by
+// tests/CMakeLists.txt.
+#include "serve/worker_pool.h"
+
+#include <signal.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/worker.h"
+
+namespace dlpsim::serve {
+namespace {
+
+WorkerSpec StubSpec() { return WorkerSpec{{DLPSIM_STUB_WORKER}}; }
+
+ExperimentRequest Req(const std::string& app, const std::string& config = "x",
+                      const std::string& chaos = "") {
+  ExperimentRequest r;
+  r.id = 1;
+  r.app = app;
+  r.config = config;
+  r.chaos = chaos;
+  return r;
+}
+
+RetryBudget FastBudget() {
+  RetryBudget b;
+  b.max_attempts = 3;
+  b.backoff_ms = 1;
+  b.deadline_ms = 20000;
+  return b;
+}
+
+TEST(WorkerSlot, ServesARequest) {
+  WorkerSlot slot;
+  const ExperimentResponse resp =
+      slot.Execute(StubSpec(), Req("echo"), FastBudget(), nullptr);
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+  EXPECT_EQ(resp.attempts, 1);
+  EXPECT_EQ(resp.worker_crashes, 0);
+  EXPECT_EQ(resp.result, "echo 1\n");
+  EXPECT_TRUE(slot.alive());  // worker is reused across requests
+}
+
+TEST(WorkerSlot, ReusesOneWorkerAcrossRequests) {
+  WorkerSlot slot;
+  ASSERT_TRUE(slot.Execute(StubSpec(), Req("echo"), FastBudget(), nullptr)
+                  .ok());
+  const pid_t pid = slot.pid();
+  ASSERT_TRUE(slot.Execute(StubSpec(), Req("echo"), FastBudget(), nullptr)
+                  .ok());
+  EXPECT_EQ(slot.pid(), pid);
+}
+
+TEST(WorkerSlot, TypedFailureIsRetriedThenSurfacedWithKind) {
+  WorkerSlot slot;
+  const ExperimentResponse resp =
+      slot.Execute(StubSpec(), Req("fail"), FastBudget(), nullptr);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error, robust::RunError::kRunFailed);
+  EXPECT_EQ(resp.detail, "synthetic failure");
+  EXPECT_EQ(resp.attempts, 3);  // deterministic failure burned the budget
+  EXPECT_EQ(resp.worker_crashes, 0);
+  EXPECT_TRUE(slot.alive());  // failure-as-data never kills the worker
+}
+
+TEST(WorkerSlot, WatchdogKindPassesThroughVerbatim) {
+  WorkerSlot slot;
+  const ExperimentResponse resp =
+      slot.Execute(StubSpec(), Req("stall"), FastBudget(), nullptr);
+  EXPECT_EQ(resp.error, robust::RunError::kWatchdogStall);
+  EXPECT_EQ(resp.detail, "synthetic stall");
+}
+
+TEST(WorkerSlot, CrashOnFirstAttemptIsRetriedToSuccess) {
+  WorkerSlot slot;
+  const ExperimentResponse resp =
+      slot.Execute(StubSpec(), Req("echo", "x", "crash:1"), FastBudget(),
+                   nullptr);
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+  EXPECT_EQ(resp.attempts, 2);
+  EXPECT_EQ(resp.worker_crashes, 1);
+  EXPECT_EQ(resp.result, "echo 1\n");
+  // The death was recorded with its signal (abort => SIGABRT).
+  EXPECT_EQ(slot.last_death(), "signal 6");
+}
+
+TEST(WorkerSlot, CleanExitChaosAlsoCountsAsCrash) {
+  WorkerSlot slot;
+  const ExperimentResponse resp = slot.Execute(
+      StubSpec(), Req("echo", "x", "exit:1"), FastBudget(), nullptr);
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+  EXPECT_EQ(resp.worker_crashes, 1);
+  EXPECT_EQ(slot.last_death(), "exit 3");
+}
+
+TEST(WorkerSlot, PersistentCrashExhaustsBudgetAsWorkerCrash) {
+  WorkerSlot slot;
+  const ExperimentResponse resp = slot.Execute(
+      StubSpec(), Req("echo", "x", "crash:99"), FastBudget(), nullptr);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error, robust::RunError::kWorkerCrash);
+  EXPECT_EQ(resp.attempts, 3);
+  EXPECT_EQ(resp.worker_crashes, 3);
+  EXPECT_NE(resp.detail.find("signal 6"), std::string::npos) << resp.detail;
+}
+
+TEST(WorkerSlot, ExternalSigkillMidRequestIsRetried) {
+  WorkerSlot slot;
+  std::string err;
+  ASSERT_TRUE(slot.Spawn(StubSpec(), &err)) << err;
+  const pid_t victim = slot.pid();
+
+  ExperimentResponse resp;
+  std::thread runner([&] {
+    // "work 500": the stub sleeps 500ms before responding, leaving a
+    // wide window for the kill below to land mid-request.
+    resp = slot.Execute(StubSpec(), Req("work", "500"), FastBudget(),
+                        nullptr);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  runner.join();
+
+  EXPECT_TRUE(resp.ok()) << resp.detail;
+  EXPECT_GE(resp.worker_crashes, 1);
+  EXPECT_GE(resp.attempts, 2);
+  EXPECT_NE(slot.pid(), victim);  // respawned into a fresh fault domain
+}
+
+TEST(WorkerSlot, WedgedWorkerIsKilledOnDeadline) {
+  WorkerSlot slot;
+  RetryBudget budget = FastBudget();
+  budget.deadline_ms = 300;
+  const ExperimentResponse resp = slot.Execute(
+      StubSpec(), Req("echo", "x", "spin:9"), budget, nullptr);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error, robust::RunError::kDeadlineExceeded);
+  EXPECT_EQ(resp.attempts, 1);  // deadline failures are never retried
+  EXPECT_FALSE(slot.alive());   // the wedged worker was SIGKILLed
+  EXPECT_EQ(slot.last_death(), "signal 9");
+}
+
+TEST(WorkerSlot, ExecFailureSurfacesAsWorkerCrash) {
+  WorkerSlot slot;
+  const WorkerSpec bad{{"/nonexistent/worker/binary"}};
+  RetryBudget budget = FastBudget();
+  const ExperimentResponse resp =
+      slot.Execute(bad, Req("echo"), budget, nullptr);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error, robust::RunError::kWorkerCrash);
+  // The child _exit(127)s when exec fails; that status is the evidence.
+  EXPECT_NE(resp.detail.find("exit 127"), std::string::npos) << resp.detail;
+}
+
+TEST(WorkerPool, OwnsIndependentSlots) {
+  WorkerPool pool(StubSpec(), 4);
+  ASSERT_EQ(pool.size(), 4u);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const ExperimentResponse resp =
+        pool.slot(i).Execute(pool.spec(), Req("echo"), FastBudget(), nullptr);
+    EXPECT_TRUE(resp.ok()) << resp.detail;
+  }
+  // Four live workers, all distinct processes.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_NE(pool.slot(i).pid(), pool.slot(j).pid());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlpsim::serve

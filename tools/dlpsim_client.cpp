@@ -1,0 +1,182 @@
+// Client / load generator for dlpsim-as-a-service.
+//
+// Modes (all speak the serve/ frame protocol over AF_UNIX):
+//
+//   single request (default):
+//     dlpsim_client --app BFS --config dlp [--scale S] [--deadline-ms N]
+//                   [--faults SPEC] [--watchdog CYCLES] [--chaos DIR]
+//                   [--nocache]
+//     Prints the response header to stderr and the result payload to
+//     stdout; exits 0 iff the request was served (error == none).
+//
+//   load generator:
+//     dlpsim_client --replay N [--concurrency C] [--seed S]
+//                   [--chaos-pct P] [--deadline-ms N]
+//     Replays N deterministic requests (see serve/client.h) over C
+//     connections and prints an accounting summary. Exits 0 iff every
+//     request ended as served-or-typed-failure with no transport
+//     errors (nothing lost).
+//
+//   admin:
+//     dlpsim_client --metrics [deterministic|prom|json]
+//     dlpsim_client --shutdown      (graceful drain)
+//     dlpsim_client --ping
+//
+// The socket defaults to DLPSIM_SERVER_SOCKET (same knob the server
+// reads), overridable with --socket.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "robust/error.h"
+#include "serve/client.h"
+#include "sim/env.h"
+
+namespace {
+
+using namespace dlpsim;
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--socket PATH] (--app A --config C [...] | --replay N "
+               "[...] | --metrics [KIND] | --shutdown | --ping)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = env::Str("DLPSIM_SERVER_SOCKET", "dlpsim.sock");
+  serve::ExperimentRequest req;
+  serve::LoadGenOptions load;
+  bool replay = false;
+  bool metrics = false;
+  bool shutdown = false;
+  bool ping = false;
+  std::string metrics_kind = "prom";
+  int reject_retries = 200;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << what << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next("--socket");
+    } else if (a == "--app") {
+      req.app = next("--app");
+    } else if (a == "--config") {
+      req.config = next("--config");
+    } else if (a == "--scale") {
+      req.scale = std::atof(next("--scale"));
+    } else if (a == "--deadline-ms") {
+      req.deadline_ms = static_cast<std::uint64_t>(
+          std::atoll(next("--deadline-ms")));
+      load.deadline_ms = req.deadline_ms;
+    } else if (a == "--faults") {
+      req.faults = next("--faults");
+    } else if (a == "--watchdog") {
+      req.watchdog_cycles =
+          static_cast<std::uint64_t>(std::atoll(next("--watchdog")));
+    } else if (a == "--chaos") {
+      req.chaos = next("--chaos");
+    } else if (a == "--nocache") {
+      req.nocache = true;
+    } else if (a == "--retries") {
+      reject_retries = std::atoi(next("--retries"));
+    } else if (a == "--replay") {
+      replay = true;
+      load.requests =
+          static_cast<std::uint64_t>(std::atoll(next("--replay")));
+    } else if (a == "--concurrency") {
+      load.concurrency =
+          static_cast<std::size_t>(std::atoi(next("--concurrency")));
+    } else if (a == "--seed") {
+      load.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (a == "--chaos-pct") {
+      load.chaos_pct =
+          static_cast<std::uint64_t>(std::atoll(next("--chaos-pct")));
+    } else if (a == "--metrics") {
+      metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_kind = argv[++i];
+    } else if (a == "--shutdown") {
+      shutdown = true;
+    } else if (a == "--ping") {
+      ping = true;
+    } else {
+      std::cerr << "unknown flag: " << a << '\n';
+      return Usage(argv[0]);
+    }
+  }
+
+  std::string err;
+  if (replay) {
+    load.socket_path = socket_path;
+    load.reject_retries = reject_retries;
+    serve::LoadGenStats stats;
+    if (!serve::RunLoadGen(load, &stats, &err)) {
+      std::cerr << "dlpsim_client: " << err << '\n';
+      return 1;
+    }
+    std::cout << "sent " << stats.sent << "\nok " << stats.ok << "\nfailed "
+              << stats.failed << "\ncached " << stats.cached
+              << "\ntransport_errors " << stats.transport_errors
+              << "\nreject_retries " << stats.reject_retries << '\n';
+    for (const auto& [kind, n] : stats.failures_by_kind) {
+      std::cout << "failure[" << kind << "] " << n << '\n';
+    }
+    std::cout << "accounted "
+              << (stats.accounted() ? "true" : "false") << '\n';
+    return stats.accounted() && stats.transport_errors == 0 ? 0 : 1;
+  }
+
+  serve::Client client;
+  if (!client.Connect(socket_path, &err)) {
+    std::cerr << "dlpsim_client: " << err << '\n';
+    return 1;
+  }
+
+  if (metrics) {
+    std::string text;
+    if (!client.FetchMetrics(metrics_kind, &text, &err)) {
+      std::cerr << "dlpsim_client: " << err << '\n';
+      return 1;
+    }
+    std::cout << text;
+    return 0;
+  }
+  if (shutdown) {
+    if (!client.Shutdown(&err)) {
+      std::cerr << "dlpsim_client: " << err << '\n';
+      return 1;
+    }
+    std::cerr << "dlpsim_client: server acknowledged drain\n";
+    return 0;
+  }
+  if (ping) {
+    if (!client.Ping(&err)) {
+      std::cerr << "dlpsim_client: " << err << '\n';
+      return 1;
+    }
+    std::cerr << "dlpsim_client: pong\n";
+    return 0;
+  }
+
+  if (req.app.empty() || req.config.empty()) return Usage(argv[0]);
+  req.id = 1;
+  serve::ExperimentResponse resp;
+  if (!client.CallWithRetry(req, &resp, reject_retries, &err)) {
+    std::cerr << "dlpsim_client: " << err << '\n';
+    return 1;
+  }
+  std::cerr << "error " << robust::ToString(resp.error) << "\nattempts "
+            << resp.attempts << "\nworker_crashes " << resp.worker_crashes
+            << "\ncached " << (resp.cached ? "true" : "false") << '\n';
+  if (!resp.detail.empty()) std::cerr << "detail " << resp.detail << '\n';
+  if (!resp.result.empty()) std::cout << resp.result;
+  return resp.ok() ? 0 : 1;
+}
