@@ -3,10 +3,12 @@
 //
 //   ./trace_replay [trace-file]
 //
-// Trace format: one access per line, "L <addr> <pc>" or "S <addr> <pc>"
-// ('#' comments allowed; addresses hex or decimal). Without a file, a
-// built-in demonstration trace is used: a thrashing scan interleaved
-// with a hot reuse set -- the access pattern DLP was designed for.
+// Accepts either trace format (sniffed from the file): text, one access
+// per line, "L <addr> <pc>" or "S <addr> <pc>" ('#' comments allowed;
+// addresses hex or decimal), or the DLPT packed binary format written by
+// tools/trace_pack. Without a file, a built-in demonstration trace is
+// used: a thrashing scan interleaved with a hot reuse set -- the access
+// pattern DLP was designed for.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -45,15 +47,11 @@ std::vector<TraceAccess> DemoTrace() {
 int main(int argc, char** argv) {
   std::vector<TraceAccess> trace;
   if (argc > 1) {
-    std::ifstream in(argv[1]);
-    if (!in) {
-      std::cerr << "cannot open " << argv[1] << '\n';
-      return 1;
-    }
-    // Strict parsing: a malformed or truncated user trace is an error
-    // with a line number, not a silent replay of a garbage prefix.
+    // Format-agnostic strict read: a malformed or truncated trace (in
+    // either format) is a typed error, not a silent replay of a prefix.
     TraceParseError err;
-    if (!ParseTraceStrict(in, &trace, &err)) {
+    auto src = trace::OpenTraceFile(argv[1], &err);
+    if (src == nullptr || !trace::ReadAllRecords(*src, &trace, &err)) {
       std::cerr << argv[1] << ": " << err.ToString() << '\n';
       return 1;
     }

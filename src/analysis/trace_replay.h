@@ -1,13 +1,13 @@
 // Cache-level trace replay: drive an L1DCache (any policy) directly from
 // a recorded or synthetic access trace, without the full GPU timing
-// model. This is the fast path for policy experiments and lets users
-// replay traces captured from real hardware or other simulators.
+// model. This is the fast path for policy experiments and the timing
+// backend of the record/replay front/back split: record a workload once
+// (trace/recorder.h), persist it as text or DLPT packed binary, then
+// re-simulate it across configurations from a streaming TraceSource.
 //
-// Trace text format, one access per line (comments start with '#'):
-//     L <hex-or-dec address> <pc>
-//     S <hex-or-dec address> <pc>
-// e.g. "L 0x1f80 12". Addresses are bytes; pc is the load/store PC used
-// by DLP's PDPT.
+// Trace formats: the text grammar ("L|S <address> <pc>" lines, see
+// trace/text.h) and the packed binary format (trace/format.h). Replay is
+// format agnostic -- it pulls from any trace::TraceSource.
 //
 // Replay semantics: accesses are issued in order, one per simulated
 // cycle. Misses are serviced with a fixed configurable latency
@@ -24,38 +24,12 @@
 
 #include "core/l1d_cache.h"
 #include "sim/types.h"
+#include "trace/error.h"
+#include "trace/record.h"
+#include "trace/source.h"
+#include "trace/text.h"
 
 namespace dlpsim {
-
-struct TraceAccess {
-  Addr addr = 0;
-  Pc pc = 0;
-  AccessType type = AccessType::kLoad;
-};
-
-/// Parses the text format above. Invalid lines are reported via the
-/// optional error output and skipped (lenient mode, for exploratory use
-/// on dirty traces).
-std::vector<TraceAccess> ParseTrace(std::istream& in,
-                                    std::string* error = nullptr);
-
-/// Typed parse failure: which line is malformed and why.
-struct TraceParseError {
-  std::size_t line = 0;  // 1-based; 0 for stream-level failures
-  std::string message;
-
-  std::string ToString() const {
-    return line == 0 ? message : "line " + std::to_string(line) + ": " + message;
-  }
-};
-
-/// Strict variant: stops at the FIRST malformed, truncated or trailing-
-/// garbage line and reports it as a typed error instead of silently
-/// replaying a partial trace. Returns false (with *error filled and *out
-/// holding every access before the bad line) on failure. Tools replaying
-/// user-supplied trace files should use this.
-bool ParseTraceStrict(std::istream& in, std::vector<TraceAccess>* out,
-                      TraceParseError* error);
 
 struct ReplayResult {
   std::uint64_t cycles = 0;
@@ -79,8 +53,15 @@ class TraceReplayer {
                          std::uint32_t fill_latency = 200)
       : cache_((cfg.ValidateOrThrow(), cfg)), fill_latency_(fill_latency) {}
 
-  /// Replays the whole trace; returns aggregate results. The cache keeps
-  /// its state across calls (call Reset() between independent traces).
+  /// Replays every record `source` yields; returns aggregate results.
+  /// Streaming: memory use is bounded by the source's block size, not
+  /// the trace length. Source errors are the caller's to check
+  /// (source.ok()) -- the replay covers whatever records were yielded.
+  /// The cache keeps its state across calls (call Reset() between
+  /// independent traces).
+  ReplayResult Replay(trace::TraceSource& source);
+
+  /// Replays an in-memory trace.
   ReplayResult Replay(const std::vector<TraceAccess>& trace);
 
   void Reset() { cache_.Reset(); }

@@ -40,8 +40,10 @@ std::string_view BinaryVersion();
 /// Builds the composite key from the three content components.
 /// `config_text` should be sim::CanonicalText(cfg) (any stable full
 /// serialization works); `trace_ref` names the workload deterministically
-/// (for generated workloads: "app <abbr> scale <s>"; for future packed
-/// traces: the trace file's own content hash).
+/// (for generated workloads: "app <abbr> scale <s>"; for trace-replay
+/// requests: trace::TraceFileRef -- the trace's content hash over
+/// canonical packed bytes, identical for text and DLPT packed copies of
+/// the same record sequence).
 std::string ContentKey(std::string_view config_text, std::string_view trace_ref,
                        std::string_view binary_version = BinaryVersion());
 

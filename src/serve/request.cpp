@@ -60,6 +60,7 @@ std::string ExperimentRequest::Serialize() const {
   os << "app " << SanitizeValue(app) << '\n';
   os << "config " << SanitizeValue(config) << '\n';
   os << "scale " << scale << '\n';
+  if (!trace.empty()) os << "trace " << SanitizeValue(trace) << '\n';
   if (deadline_ms > 0) os << "deadline_ms " << deadline_ms << '\n';
   if (watchdog_cycles > 0) os << "watchdog_cycles " << watchdog_cycles << '\n';
   if (!faults.empty()) os << "faults " << SanitizeValue(faults) << '\n';
@@ -92,6 +93,8 @@ bool ExperimentRequest::Parse(const std::string& text, ExperimentRequest* out,
       if (!ParseDouble(value, &r.scale) || r.scale <= 0.0) {
         return Fail(err, "bad scale"), false;
       }
+    } else if (key == "trace") {
+      r.trace = value;
     } else if (key == "deadline_ms") {
       if (!ParseU64(value, &r.deadline_ms)) {
         return Fail(err, "bad deadline_ms"), false;

@@ -29,6 +29,15 @@ struct ExperimentRequest {
   std::string app;             // workload abbreviation ("BFS")
   std::string config;          // named configuration ("dlp")
   double scale = 1.0;          // iteration scale factor
+  // Trace-replay requests: path (visible to the server/worker) of a
+  // recorded trace in either format (text or DLPT packed). Non-empty
+  // switches the worker from the GPU-model workload named by `app` to a
+  // cache-level TraceSource replay under `config`'s L1D; `app`/`scale`
+  // are ignored for simulation but still required by the grammar (the
+  // client sets app to "trace"). Cache keys for these requests use the
+  // trace file's content hash over canonical packed bytes, so text and
+  // packed copies of one trace share result-cache entries.
+  std::string trace;
   std::uint64_t deadline_ms = 0;   // wall-clock budget; 0 = server default
   std::uint64_t watchdog_cycles = 0;  // robust/ watchdog stall window; 0 = off
   std::string faults;          // DLPSIM_FAULTS-style spec; empty = none

@@ -1,0 +1,21 @@
+#include "trace/error.h"
+
+namespace dlpsim {
+
+const char* ToString(TraceErrorKind kind) {
+  switch (kind) {
+    case TraceErrorKind::kNone: return "none";
+    case TraceErrorKind::kBadText: return "bad-text";
+    case TraceErrorKind::kIo: return "io";
+    case TraceErrorKind::kBadMagic: return "bad-magic";
+    case TraceErrorKind::kBadVersion: return "bad-version";
+    case TraceErrorKind::kBadHeader: return "bad-header";
+    case TraceErrorKind::kCrcMismatch: return "crc-mismatch";
+    case TraceErrorKind::kTruncated: return "truncated";
+    case TraceErrorKind::kOversizedBlock: return "oversized-block";
+    case TraceErrorKind::kBadBlock: return "bad-block";
+  }
+  return "unknown";
+}
+
+}  // namespace dlpsim

@@ -1,0 +1,47 @@
+// Typed trace-parse failures, shared by the text and packed readers.
+//
+// `TraceParseError` used to live in analysis/trace_replay.h with only a
+// line number and a message; the packed format added a `kind` so tests
+// and tools can assert on *which* corruption was detected (bad magic vs.
+// flipped CRC vs. truncated block) instead of string-matching messages.
+// Existing aggregate users keep compiling: the new field defaults.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dlpsim {
+
+/// What class of corruption or malformation a reader detected. Text-path
+/// failures use kBadText; stream-level I/O failures use kIo.
+enum class TraceErrorKind {
+  kNone = 0,        // no error (default-constructed)
+  kBadText,         // malformed text line (op/address/pc)
+  kIo,              // stream read/write error
+  kBadMagic,        // packed: first bytes are not "DLPT"
+  kBadVersion,      // packed: unsupported format version
+  kBadHeader,       // packed: truncated or inconsistent header
+  kCrcMismatch,     // packed: block or metadata CRC check failed
+  kTruncated,       // packed: stream ended inside a block or footer
+  kOversizedBlock,  // packed: declared block length exceeds the limit
+  kBadBlock,        // packed: block payload does not decode cleanly
+};
+
+const char* ToString(TraceErrorKind kind);
+
+/// Typed parse failure: which line (text) or byte offset (packed) is
+/// malformed, and why.
+struct TraceParseError {
+  std::size_t line = 0;  // 1-based text line; 0 for stream-level failures
+  std::string message;
+  TraceErrorKind kind = TraceErrorKind::kNone;
+  std::size_t offset = 0;  // byte offset for packed-format failures
+
+  bool ok() const { return kind == TraceErrorKind::kNone; }
+
+  std::string ToString() const {
+    return line == 0 ? message : "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+}  // namespace dlpsim

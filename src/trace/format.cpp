@@ -1,0 +1,197 @@
+#include "trace/format.h"
+
+#include <array>
+#include <limits>
+
+#include "trace/lz.h"
+
+namespace dlpsim::trace {
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data) {
+  const auto& table = CrcTable();
+  crc = ~crc;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view src, std::size_t* pos, std::uint64_t* v) {
+  std::uint64_t result = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (*pos >= src.size()) return false;
+    const unsigned char b = static_cast<unsigned char>(src[*pos]);
+    ++*pos;
+    // The 10th byte (shift 63) may only contribute one bit.
+    if (shift == 63 && (b & 0xfe) != 0) return false;
+    result |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // unterminated varint
+}
+
+std::uint64_t ZigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t ZigzagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+std::string EncodeBlockPayload(const std::vector<TraceAccess>& records,
+                               std::size_t first, std::size_t count) {
+  std::string payload;
+  payload.reserve(count * 4);
+  Addr prev_addr = 0;
+  Pc prev_pc = 0;
+  for (std::size_t i = first; i < first + count; ++i) {
+    const TraceAccess& a = records[i];
+    payload.push_back(a.type == AccessType::kStore ? 1 : 0);
+    // Wrapping delta: unsigned subtraction then reinterpretation as a
+    // two's-complement int64 makes 2^64 wraparound round-trip exactly.
+    PutVarint(&payload,
+              ZigzagEncode(static_cast<std::int64_t>(a.addr - prev_addr)));
+    PutVarint(&payload, ZigzagEncode(static_cast<std::int64_t>(a.pc) -
+                                     static_cast<std::int64_t>(prev_pc)));
+    prev_addr = a.addr;
+    prev_pc = a.pc;
+  }
+  return payload;
+}
+
+bool DecodeBlockPayload(std::string_view payload, std::size_t count,
+                        std::vector<TraceAccess>* out,
+                        TraceParseError* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      error->kind = TraceErrorKind::kBadBlock;
+      error->message = "bad block payload: " + why;
+    }
+    return false;
+  };
+  std::size_t pos = 0;
+  Addr prev_addr = 0;
+  Pc prev_pc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pos >= payload.size()) return fail("truncated record stream");
+    const unsigned char flags = static_cast<unsigned char>(payload[pos]);
+    ++pos;
+    if ((flags & ~1u) != 0) return fail("reserved flag bits set");
+    std::uint64_t d_addr = 0;
+    std::uint64_t d_pc = 0;
+    if (!GetVarint(payload, &pos, &d_addr)) return fail("bad address varint");
+    if (!GetVarint(payload, &pos, &d_pc)) return fail("bad pc varint");
+    TraceAccess a;
+    a.addr = prev_addr + static_cast<std::uint64_t>(ZigzagDecode(d_addr));
+    const std::int64_t pc =
+        static_cast<std::int64_t>(prev_pc) + ZigzagDecode(d_pc);
+    if (pc < 0 || pc > static_cast<std::int64_t>(
+                           std::numeric_limits<Pc>::max())) {
+      return fail("pc delta out of range");
+    }
+    a.pc = static_cast<Pc>(pc);
+    a.type = (flags & 1u) != 0 ? AccessType::kStore : AccessType::kLoad;
+    out->push_back(a);
+    prev_addr = a.addr;
+    prev_pc = a.pc;
+  }
+  if (pos != payload.size()) return fail("trailing payload bytes");
+  return true;
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+std::string EncodeHeader(std::string_view meta) {
+  std::string out;
+  out.reserve(kHeaderBytes + meta.size());
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kFormatVersion);
+  PutU32(&out, static_cast<std::uint32_t>(meta.size()));
+  PutU32(&out, Crc32(meta));
+  out.append(meta);
+  return out;
+}
+
+std::string EncodeBlock(const std::vector<TraceAccess>& records,
+                        std::size_t first, std::size_t count) {
+  const std::string payload = EncodeBlockPayload(records, first, count);
+  const std::string packed = LzCompress(payload);
+  std::string out;
+  out.reserve(kBlockHeaderBytes + packed.size());
+  PutU32(&out, static_cast<std::uint32_t>(packed.size()));
+  PutU32(&out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(&out, static_cast<std::uint32_t>(count));
+  PutU32(&out, Crc32(packed));
+  out.append(packed);
+  return out;
+}
+
+std::string EncodeFooter(std::uint64_t total_records) {
+  std::string count;
+  PutU64(&count, total_records);
+  std::string out;
+  out.reserve(kFooterBytes);
+  PutU32(&out, 0);  // zero comp_len terminates the block list
+  out.append(count);
+  PutU32(&out, Crc32(count));
+  return out;
+}
+
+}  // namespace dlpsim::trace

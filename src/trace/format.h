@@ -1,0 +1,104 @@
+// The DLPT packed binary trace format.
+//
+// Byte layout (all integers little-endian):
+//
+//   offset size field
+//   0      4    magic "DLPT"
+//   4      4    u32 format version (currently 1)
+//   8      4    u32 meta_len M  (<= kMaxMetaBytes)
+//   12     4    u32 crc32(meta)
+//   16     M    metadata text ("key value" lines, may be empty)
+//   -- data blocks, repeated --
+//   +0     4    u32 comp_len C  (0 terminates the block list)
+//   +4     4    u32 raw_len R   (encoded payload bytes, <= kMaxBlockRawBytes)
+//   +8     4    u32 record count N in this block (>= 1)
+//   +12    4    u32 crc32(compressed payload)
+//   +16    C    payload (trace/lz.h compressed record stream)
+//   -- footer --
+//   +0     4    u32 0 (terminator)
+//   +4     8    u64 total record count
+//   +12    4    u32 crc32 of the preceding 8 count bytes
+//
+// Record stream inside a block (before compression), per record:
+//
+//   flags   1 byte: bit0 = 1 for store, 0 for load; bits 1..7 reserved 0
+//   d_addr  varint zigzag(addr - prev_addr)   (wrapping 64-bit delta)
+//   d_pc    varint zigzag(pc - prev_pc)
+//
+// prev_addr/prev_pc start at 0 in every block, so blocks decode
+// independently (a future seekable index can jump straight to one).
+// Deltas use two's-complement wrapping: address wraparound across 2^64
+// round-trips exactly. Every multi-byte structure is CRC-protected, and
+// every declared length is bounds-checked before allocation, so a
+// truncated or corrupted file surfaces as a typed TraceParseError --
+// never a crash or a silent partial read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/error.h"
+#include "trace/record.h"
+
+namespace dlpsim::trace {
+
+inline constexpr char kMagic[4] = {'D', 'L', 'P', 'T'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;   // fixed part, before meta
+inline constexpr std::size_t kBlockHeaderBytes = 16;
+inline constexpr std::size_t kFooterBytes = 16;   // terminator+count+crc
+inline constexpr std::size_t kMaxMetaBytes = 1u << 20;        // 1 MiB
+inline constexpr std::size_t kMaxBlockRawBytes = 4u << 20;    // 4 MiB
+/// Records per block used by writers unless overridden; also the block
+/// size of the *canonical* packed form that content hashes are computed
+/// over (trace/hash.h) -- changing it invalidates every content ref.
+inline constexpr std::uint32_t kCanonicalBlockRecords = 4096;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the standard zlib CRC.
+std::uint32_t Crc32(std::string_view data);
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data);
+
+// --- primitive codecs (exposed for tests) ---
+
+/// LEB128 unsigned varint.
+void PutVarint(std::string* out, std::uint64_t v);
+bool GetVarint(std::string_view src, std::size_t* pos, std::uint64_t* v);
+
+/// Zigzag signed<->unsigned mapping over 64 bits.
+std::uint64_t ZigzagEncode(std::int64_t v);
+std::int64_t ZigzagDecode(std::uint64_t v);
+
+// --- block codec ---
+
+/// Delta/varint-encodes `records` (uncompressed block payload).
+std::string EncodeBlockPayload(const std::vector<TraceAccess>& records,
+                               std::size_t first, std::size_t count);
+
+/// Decodes exactly `count` records from an uncompressed payload,
+/// appending to *out. Fails (kBadBlock in *error) on reserved flag bits,
+/// varint overruns, or payload bytes left over / missing.
+bool DecodeBlockPayload(std::string_view payload, std::size_t count,
+                        std::vector<TraceAccess>* out,
+                        TraceParseError* error);
+
+// --- little-endian integer helpers (exposed for the reader/writer) ---
+
+void PutU32(std::string* out, std::uint32_t v);
+void PutU64(std::string* out, std::uint64_t v);
+std::uint32_t GetU32(const char* p);
+std::uint64_t GetU64(const char* p);
+
+/// Renders the fixed header + metadata section.
+std::string EncodeHeader(std::string_view meta);
+
+/// Renders one complete block (header + compressed payload) for
+/// records [first, first+count).
+std::string EncodeBlock(const std::vector<TraceAccess>& records,
+                        std::size_t first, std::size_t count);
+
+/// Renders the footer for a stream of `total_records`.
+std::string EncodeFooter(std::uint64_t total_records);
+
+}  // namespace dlpsim::trace

@@ -1,0 +1,144 @@
+#include "trace/lz.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace dlpsim::trace {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr unsigned kHashBits = 13;
+
+/// Hashes the 4 bytes at `p` into the match table.
+inline std::uint32_t Hash4(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32u - kHashBits);
+}
+
+/// Appends a nibble-extended length: `n` is the amount beyond what the
+/// nibble already encoded (nibble was 15).
+void PutExtLength(std::string* out, std::size_t n) {
+  while (n >= 255) {
+    out->push_back(static_cast<char>(255));
+    n -= 255;
+  }
+  out->push_back(static_cast<char>(n));
+}
+
+/// Reads a nibble-extended length; false on truncation.
+bool GetExtLength(std::string_view src, std::size_t* pos, std::size_t* n) {
+  for (;;) {
+    if (*pos >= src.size()) return false;
+    const unsigned char b = static_cast<unsigned char>(src[*pos]);
+    ++*pos;
+    *n += b;
+    if (b < 255) return true;
+  }
+}
+
+void EmitSequence(std::string* out, const unsigned char* lit_start,
+                  std::size_t lit_len, std::size_t offset,
+                  std::size_t match_len) {
+  const std::size_t lit_nib = lit_len < 15 ? lit_len : 15;
+  std::size_t match_nib = 0;
+  if (match_len >= kMinMatch) {
+    const std::size_t m = match_len - kMinMatch;
+    match_nib = m < 15 ? m : 15;
+  }
+  out->push_back(static_cast<char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) PutExtLength(out, lit_len - 15);
+  out->append(reinterpret_cast<const char*>(lit_start), lit_len);
+  if (match_len >= kMinMatch) {
+    out->push_back(static_cast<char>(offset & 0xff));
+    out->push_back(static_cast<char>((offset >> 8) & 0xff));
+    if (match_nib == 15) PutExtLength(out, match_len - kMinMatch - 15);
+  }
+}
+
+}  // namespace
+
+std::size_t LzMaxCompressedSize(std::size_t raw_size) {
+  // One token + extension bytes for an all-literal stream.
+  return raw_size + raw_size / 255 + 16;
+}
+
+std::string LzCompress(std::string_view src) {
+  std::string out;
+  out.reserve(src.size() / 2 + 16);
+  const auto* base = reinterpret_cast<const unsigned char*>(src.data());
+  const std::size_t n = src.size();
+
+  // Positions of previously seen 4-byte hashes (greedy, one slot each).
+  std::uint32_t table[1u << kHashBits];
+  std::memset(table, 0xff, sizeof(table));
+  constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  std::size_t lit_start = 0;  // first literal not yet emitted
+  std::size_t pos = 0;
+  while (n >= kMinMatch && pos + kMinMatch <= n) {
+    const std::uint32_t h = Hash4(base + pos);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand != kEmpty && pos - cand <= kMaxOffset &&
+        std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
+      // Extend the match forward.
+      std::size_t len = kMinMatch;
+      while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+      EmitSequence(&out, base + lit_start, pos - lit_start, pos - cand, len);
+      pos += len;
+      lit_start = pos;
+      continue;
+    }
+    ++pos;
+  }
+  // Trailing literals (possibly the whole input).
+  if (lit_start < n || n == 0) {
+    EmitSequence(&out, base + lit_start, n - lit_start, 0, 0);
+  }
+  return out;
+}
+
+bool LzDecompress(std::string_view src, std::size_t raw_size,
+                  std::string* out) {
+  out->clear();
+  out->reserve(raw_size);
+  std::size_t pos = 0;
+  while (pos < src.size()) {
+    const unsigned char token = static_cast<unsigned char>(src[pos]);
+    ++pos;
+    // Literals.
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15 && !GetExtLength(src, &pos, &lit_len)) return false;
+    if (pos + lit_len > src.size()) return false;
+    if (out->size() + lit_len > raw_size) return false;
+    out->append(src.data() + pos, lit_len);
+    pos += lit_len;
+    if (pos == src.size()) break;  // final literal-only sequence
+    // Match.
+    if (pos + 2 > src.size()) return false;
+    const std::size_t offset =
+        static_cast<unsigned char>(src[pos]) |
+        (static_cast<std::size_t>(static_cast<unsigned char>(src[pos + 1]))
+         << 8);
+    pos += 2;
+    if (offset == 0 || offset > out->size()) return false;
+    std::size_t match_len = (token & 0xf) + kMinMatch;
+    if ((token & 0xf) == 15) {
+      std::size_t ext = 0;
+      if (!GetExtLength(src, &pos, &ext)) return false;
+      match_len += ext;
+    }
+    if (out->size() + match_len > raw_size) return false;
+    // Byte-wise copy: overlapping matches (offset < match_len) replicate.
+    std::size_t from = out->size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[from + i]);
+    }
+  }
+  return out->size() == raw_size;
+}
+
+}  // namespace dlpsim::trace

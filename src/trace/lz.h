@@ -1,0 +1,40 @@
+// Self-contained byte-oriented LZ77 compressor for packed trace blocks.
+//
+// The framing mirrors LZ4's token scheme (the same idea McSimA+'s
+// TraceGen gets from snappy: fast byte-wise compression of already
+// delta-encoded streams, no entropy coder, no external dependency):
+//
+//   sequence := token | lit-ext* | literals | offset16 | match-ext*
+//   token    := (literal_len min(15)) << 4 | (match_len - 4, min(15))
+//
+// Nibble value 15 means "extended": further length bytes follow, each
+// adding 0..255, terminated by a byte < 255. The 2-byte little-endian
+// offset points back 1..65535 bytes; matches are at least 4 bytes. The
+// final sequence carries literals only: when the compressed stream ends
+// right after a sequence's literals, there is no match part.
+//
+// Decompression is strictly bounds-checked: any out-of-range offset,
+// overlong length or truncated field fails cleanly (no OOB access), so
+// hostile compressed payloads surface as typed block errors upstream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace dlpsim::trace {
+
+/// Compresses `src`. The output never exceeds LzMaxCompressedSize(src
+/// size). Deterministic: same input, same bytes out.
+std::string LzCompress(std::string_view src);
+
+/// Worst-case compressed size for `raw_size` input bytes (all literals).
+std::size_t LzMaxCompressedSize(std::size_t raw_size);
+
+/// Decompresses `src` into exactly `raw_size` bytes appended to *out
+/// (cleared first). Returns false on malformed input: truncated fields,
+/// offset past the output start, or a size mismatch.
+bool LzDecompress(std::string_view src, std::size_t raw_size,
+                  std::string* out);
+
+}  // namespace dlpsim::trace

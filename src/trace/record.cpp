@@ -1,0 +1,67 @@
+#include "trace/record.h"
+
+#include <ostream>
+
+namespace dlpsim::trace {
+
+namespace {
+
+/// Lowercase hex without leading zeros ("0" for zero).
+void AppendHex(std::uint64_t v, std::string* out) {
+  char buf[16];
+  int i = 0;
+  do {
+    buf[i++] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  while (i > 0) out->push_back(buf[--i]);
+}
+
+void AppendDec(std::uint64_t v, std::string* out) {
+  char buf[20];
+  int i = 0;
+  do {
+    buf[i++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (i > 0) out->push_back(buf[--i]);
+}
+
+}  // namespace
+
+void AppendCanonicalLine(const TraceAccess& a, std::string* out) {
+  out->push_back(a.type == AccessType::kStore ? 'S' : 'L');
+  out->append(" 0x");
+  AppendHex(a.addr, out);
+  out->push_back(' ');
+  AppendDec(a.pc, out);
+  out->push_back('\n');
+}
+
+std::string CanonicalTextLine(const TraceAccess& a) {
+  std::string line;
+  AppendCanonicalLine(a, &line);
+  return line;
+}
+
+void WriteTextTrace(std::ostream& os, const std::vector<TraceAccess>& records) {
+  std::string buf;
+  buf.reserve(records.size() * 20);
+  for (const TraceAccess& a : records) {
+    AppendCanonicalLine(a, &buf);
+    if (buf.size() >= (1u << 16)) {
+      os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  }
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+std::string CanonicalText(const std::vector<TraceAccess>& records) {
+  std::string out;
+  out.reserve(records.size() * 20);
+  for (const TraceAccess& a : records) AppendCanonicalLine(a, &out);
+  return out;
+}
+
+}  // namespace dlpsim::trace

@@ -1,0 +1,58 @@
+// The unit record of a memory-access trace, plus its canonical text
+// rendering.
+//
+// `TraceAccess` used to live in analysis/trace_replay.h; it moved here so
+// the trace subsystem (packed format, streaming sources, content hashing)
+// does not depend on the replayer. analysis/ re-exports it, so existing
+// `dlpsim::TraceAccess` users are unaffected.
+//
+// Canonical text form: one access per line,
+//
+//     L 0x<hex address> <decimal pc>\n
+//     S 0x<hex address> <decimal pc>\n
+//
+// lowercase hex without leading zeros, single spaces, trailing newline on
+// every line, no comments. Every (records -> text) path in the project
+// goes through CanonicalTextLine/WriteTextTrace, so "pack then unpack"
+// is byte-identical to canonicalizing the original text, and the content
+// hash of a trace (trace/hash.h) is format independent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dlpsim {
+
+struct TraceAccess {
+  Addr addr = 0;
+  Pc pc = 0;
+  AccessType type = AccessType::kLoad;
+};
+
+inline bool operator==(const TraceAccess& a, const TraceAccess& b) {
+  return a.addr == b.addr && a.pc == b.pc && a.type == b.type;
+}
+inline bool operator!=(const TraceAccess& a, const TraceAccess& b) {
+  return !(a == b);
+}
+
+namespace trace {
+
+/// Appends the canonical text line for `a` (including '\n') to `out`.
+void AppendCanonicalLine(const TraceAccess& a, std::string* out);
+
+/// Canonical text line for one record (convenience for tests/tools).
+std::string CanonicalTextLine(const TraceAccess& a);
+
+/// Writes the whole trace in canonical text form.
+void WriteTextTrace(std::ostream& os, const std::vector<TraceAccess>& records);
+
+/// Canonical text of the whole trace as a string.
+std::string CanonicalText(const std::vector<TraceAccess>& records);
+
+}  // namespace trace
+}  // namespace dlpsim

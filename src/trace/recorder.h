@@ -1,0 +1,53 @@
+// Recording frontend: captures the L1D access stream of a live
+// simulation as a trace.
+//
+// TraceRecorder is an AccessObserver, so it plugs into L1DCache /
+// GpuSimulator::AttachObserver and sees the raw pre-policy access stream
+// (block address, PC, type) -- the same stream TraceReplayer feeds back
+// into a cache. This is the "record once, re-simulate thousands of
+// configs" half of the front/back split: run the expensive functional
+// workload one time with a recorder attached, persist the trace (text or
+// packed), then sweep policies/configs over it with the replayer.
+//
+// The recorder can stream into a PackedTraceWriter (bounded memory, for
+// long runs) and/or collect into a vector (for tests and small runs).
+// Recording is purely observational: attaching one never changes
+// simulation results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/observer.h"
+#include "sim/types.h"
+#include "trace/record.h"
+#include "trace/writer.h"
+
+namespace dlpsim::trace {
+
+class TraceRecorder : public AccessObserver {
+ public:
+  /// Streams every access into `writer` (not owned; may be nullptr).
+  explicit TraceRecorder(PackedTraceWriter* writer) : writer_(writer) {}
+  /// Collects into *out (not owned; may be nullptr).
+  explicit TraceRecorder(std::vector<TraceAccess>* out) : out_(out) {}
+  TraceRecorder(PackedTraceWriter* writer, std::vector<TraceAccess>* out)
+      : writer_(writer), out_(out) {}
+
+  void OnAccess(std::uint32_t /*set*/, Addr block, Pc pc, AccessType type,
+                bool /*hit*/) override {
+    const TraceAccess a{block, pc, type};
+    if (writer_ != nullptr) writer_->Append(a);
+    if (out_ != nullptr) out_->push_back(a);
+    ++recorded_;
+  }
+
+  std::uint64_t recorded() const { return recorded_; }
+
+ private:
+  PackedTraceWriter* writer_ = nullptr;
+  std::vector<TraceAccess>* out_ = nullptr;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace dlpsim::trace

@@ -1,0 +1,227 @@
+#include "trace/source.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "trace/format.h"
+#include "trace/lz.h"
+#include "trace/text.h"
+
+namespace dlpsim::trace {
+
+bool VectorTraceSource::Next(TraceAccess* out) {
+  if (pos_ >= records_->size()) return false;
+  *out = (*records_)[pos_++];
+  ++delivered_;
+  return true;
+}
+
+bool TextTraceSource::Next(TraceAccess* out) {
+  if (done_) return false;
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_no_;
+    std::string message;
+    switch (ParseTraceLine(line, out, &message)) {
+      case LineKind::kAccess:
+        ++delivered_;
+        return true;
+      case LineKind::kBlank:
+        continue;
+      case LineKind::kBad:
+        error_.line = line_no_;
+        error_.message = std::move(message);
+        error_.kind = TraceErrorKind::kBadText;
+        done_ = true;
+        return false;
+    }
+  }
+  done_ = true;
+  if (in_->bad()) {
+    error_.line = 0;
+    error_.message =
+        "stream read error after line " + std::to_string(line_no_);
+    error_.kind = TraceErrorKind::kIo;
+  }
+  return false;
+}
+
+bool PackedTraceSource::Fail(TraceErrorKind kind, const std::string& message) {
+  error_.kind = kind;
+  error_.message = message;
+  error_.offset = offset_;
+  done_ = true;
+  return false;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes into *out; false on short read.
+bool ReadExact(std::istream& in, std::size_t n, std::string* out) {
+  out->resize(n);
+  if (n == 0) return true;
+  in.read(out->data(), static_cast<std::streamsize>(n));
+  return static_cast<std::size_t>(in.gcount()) == n;
+}
+
+}  // namespace
+
+bool PackedTraceSource::ReadHeader() {
+  std::string fixed;
+  if (!ReadExact(*in_, kHeaderBytes, &fixed)) {
+    return Fail(TraceErrorKind::kBadHeader,
+                "truncated header: fewer than " +
+                    std::to_string(kHeaderBytes) + " bytes");
+  }
+  if (std::memcmp(fixed.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Fail(TraceErrorKind::kBadMagic, "bad magic (expected \"DLPT\")");
+  }
+  const std::uint32_t version = GetU32(fixed.data() + 4);
+  if (version != kFormatVersion) {
+    return Fail(TraceErrorKind::kBadVersion,
+                "unsupported format version " + std::to_string(version) +
+                    " (this reader speaks " +
+                    std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint32_t meta_len = GetU32(fixed.data() + 8);
+  const std::uint32_t meta_crc = GetU32(fixed.data() + 12);
+  if (meta_len > kMaxMetaBytes) {
+    return Fail(TraceErrorKind::kBadHeader,
+                "metadata length " + std::to_string(meta_len) +
+                    " exceeds the " + std::to_string(kMaxMetaBytes) +
+                    "-byte limit");
+  }
+  if (!ReadExact(*in_, meta_len, &meta_)) {
+    return Fail(TraceErrorKind::kBadHeader, "truncated metadata section");
+  }
+  if (Crc32(meta_) != meta_crc) {
+    return Fail(TraceErrorKind::kCrcMismatch, "metadata CRC mismatch");
+  }
+  offset_ = kHeaderBytes + meta_len;
+  header_read_ = true;
+  return true;
+}
+
+bool PackedTraceSource::ReadBlock() {
+  std::string len_bytes;
+  if (!ReadExact(*in_, 4, &len_bytes)) {
+    return Fail(TraceErrorKind::kTruncated,
+                "stream ended without a footer (truncated final block?)");
+  }
+  const std::uint32_t comp_len = GetU32(len_bytes.data());
+  if (comp_len == 0) {
+    // Footer: total record count + CRC.
+    std::string tail;
+    if (!ReadExact(*in_, kFooterBytes - 4, &tail)) {
+      return Fail(TraceErrorKind::kTruncated, "truncated footer");
+    }
+    const std::uint64_t total = GetU64(tail.data());
+    const std::uint32_t crc = GetU32(tail.data() + 8);
+    if (Crc32(std::string_view(tail.data(), 8)) != crc) {
+      return Fail(TraceErrorKind::kCrcMismatch, "footer CRC mismatch");
+    }
+    if (total != delivered_ + (block_.size() - block_pos_)) {
+      return Fail(TraceErrorKind::kBadHeader,
+                  "footer record count " + std::to_string(total) +
+                      " does not match decoded records");
+    }
+    done_ = true;
+    return false;
+  }
+  std::string rest;
+  if (!ReadExact(*in_, kBlockHeaderBytes - 4, &rest)) {
+    return Fail(TraceErrorKind::kTruncated, "truncated block header");
+  }
+  const std::uint32_t raw_len = GetU32(rest.data());
+  const std::uint32_t count = GetU32(rest.data() + 4);
+  const std::uint32_t crc = GetU32(rest.data() + 8);
+  if (raw_len > kMaxBlockRawBytes) {
+    return Fail(TraceErrorKind::kOversizedBlock,
+                "declared raw block length " + std::to_string(raw_len) +
+                    " exceeds the " + std::to_string(kMaxBlockRawBytes) +
+                    "-byte limit");
+  }
+  if (comp_len > LzMaxCompressedSize(raw_len)) {
+    return Fail(TraceErrorKind::kOversizedBlock,
+                "declared compressed length " + std::to_string(comp_len) +
+                    " exceeds the bound for " + std::to_string(raw_len) +
+                    " raw bytes");
+  }
+  if (count == 0 || count > raw_len) {
+    // Every record takes >= 3 payload bytes, so count > raw_len is
+    // always corrupt; count == 0 blocks are never written.
+    return Fail(TraceErrorKind::kBadBlock,
+                "implausible block record count " + std::to_string(count));
+  }
+  std::string packed;
+  if (!ReadExact(*in_, comp_len, &packed)) {
+    return Fail(TraceErrorKind::kTruncated, "truncated block payload");
+  }
+  if (Crc32(packed) != crc) {
+    return Fail(TraceErrorKind::kCrcMismatch, "block CRC mismatch");
+  }
+  std::string payload;
+  if (!LzDecompress(packed, raw_len, &payload)) {
+    return Fail(TraceErrorKind::kBadBlock,
+                "block payload does not decompress to its declared size");
+  }
+  block_.clear();
+  block_pos_ = 0;
+  TraceParseError block_err;
+  if (!DecodeBlockPayload(payload, count, &block_, &block_err)) {
+    return Fail(block_err.kind, block_err.message);
+  }
+  offset_ += kBlockHeaderBytes + comp_len;
+  return true;
+}
+
+bool PackedTraceSource::Next(TraceAccess* out) {
+  if (done_) return false;
+  if (!header_read_ && !ReadHeader()) return false;
+  while (block_pos_ >= block_.size()) {
+    if (!ReadBlock()) return false;
+  }
+  *out = block_[block_pos_++];
+  ++delivered_;
+  return true;
+}
+
+const std::string& PackedTraceSource::meta() {
+  if (!header_read_ && !done_) ReadHeader();
+  return meta_;
+}
+
+std::unique_ptr<TraceSource> OpenTraceFile(const std::string& path,
+                                           TraceParseError* error) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) {
+    if (error != nullptr) {
+      error->kind = TraceErrorKind::kIo;
+      error->message = "cannot open " + path;
+    }
+    return nullptr;
+  }
+  char magic[4] = {0, 0, 0, 0};
+  in->read(magic, 4);
+  const bool packed = in->gcount() == 4 &&
+                      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  in->clear();
+  in->seekg(0);
+  if (packed) {
+    return std::make_unique<PackedTraceSource>(std::move(in));
+  }
+  return std::make_unique<TextTraceSource>(std::move(in));
+}
+
+bool ReadAllRecords(TraceSource& src, std::vector<TraceAccess>* out,
+                    TraceParseError* error) {
+  TraceAccess a;
+  while (src.Next(&a)) out->push_back(a);
+  if (!src.ok()) {
+    if (error != nullptr) *error = src.error();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dlpsim::trace

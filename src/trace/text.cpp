@@ -1,0 +1,136 @@
+#include "trace/text.h"
+
+#include <limits>
+#include <sstream>
+
+namespace dlpsim {
+
+namespace trace {
+
+LineKind ParseTraceLine(const std::string& line, TraceAccess* out,
+                        std::string* message) {
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') {
+    return LineKind::kBlank;
+  }
+
+  std::istringstream ls(line);
+  std::string op;
+  std::string addr_str;
+  std::string pc_str;
+  if (!(ls >> op >> addr_str >> pc_str)) {
+    *message = "expected 'L|S <address> <pc>', got '" + line + "'";
+    return LineKind::kBad;
+  }
+  if (op != "L" && op != "S") {
+    *message = "unknown op '" + op + "' (expected L or S)";
+    return LineKind::kBad;
+  }
+  std::string trailing;
+  if (ls >> trailing) {
+    *message = "trailing garbage '" + trailing + "'";
+    return LineKind::kBad;
+  }
+  out->type = op == "L" ? AccessType::kLoad : AccessType::kStore;
+  // Parse through stoull with a leading-sign check: both istream>> on
+  // unsigned and stoull silently wrap negative inputs to huge values, so
+  // "-5" must be rejected explicitly rather than replayed as 2^64-5.
+  try {
+    if (addr_str.empty() || addr_str[0] == '-' || addr_str[0] == '+') {
+      *message = "bad address '" + addr_str + "'";
+      return LineKind::kBad;
+    }
+    std::size_t consumed = 0;
+    out->addr = std::stoull(addr_str, &consumed, 0);  // 0x... or decimal
+    if (consumed != addr_str.size()) {
+      *message = "bad address '" + addr_str + "'";
+      return LineKind::kBad;
+    }
+  } catch (const std::exception&) {
+    *message = "bad address '" + addr_str + "'";
+    return LineKind::kBad;
+  }
+  try {
+    if (pc_str.empty() || pc_str[0] == '-' || pc_str[0] == '+') {
+      *message = "bad pc '" + pc_str + "'";
+      return LineKind::kBad;
+    }
+    std::size_t consumed = 0;
+    const std::uint64_t pc = std::stoull(pc_str, &consumed, 0);
+    if (consumed != pc_str.size() ||
+        pc > std::numeric_limits<Pc>::max()) {
+      *message = "bad pc '" + pc_str + "'";
+      return LineKind::kBad;
+    }
+    out->pc = static_cast<Pc>(pc);
+  } catch (const std::exception&) {
+    *message = "bad pc '" + pc_str + "'";
+    return LineKind::kBad;
+  }
+  return LineKind::kAccess;
+}
+
+}  // namespace trace
+
+std::vector<TraceAccess> ParseTrace(std::istream& in, std::string* error) {
+  std::vector<TraceAccess> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    TraceAccess access;
+    std::string message;
+    switch (trace::ParseTraceLine(line, &access, &message)) {
+      case trace::LineKind::kAccess:
+        trace.push_back(access);
+        break;
+      case trace::LineKind::kBlank:
+        break;
+      case trace::LineKind::kBad:
+        if (error != nullptr) {
+          *error += "line " + std::to_string(line_no) + ": " + message + "\n";
+        }
+        break;
+    }
+  }
+  return trace;
+}
+
+bool ParseTraceStrict(std::istream& in, std::vector<TraceAccess>* out,
+                      TraceParseError* error) {
+  out->clear();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    TraceAccess access;
+    std::string message;
+    switch (trace::ParseTraceLine(line, &access, &message)) {
+      case trace::LineKind::kAccess:
+        out->push_back(access);
+        break;
+      case trace::LineKind::kBlank:
+        break;
+      case trace::LineKind::kBad:
+        if (error != nullptr) {
+          error->line = line_no;
+          error->message = std::move(message);
+          error->kind = TraceErrorKind::kBadText;
+        }
+        return false;
+    }
+  }
+  // A read error (I/O failure, not EOF) means the trace is truncated in a
+  // way the line loop cannot see.
+  if (in.bad()) {
+    if (error != nullptr) {
+      error->line = 0;
+      error->message = "stream read error after line " + std::to_string(line_no);
+      error->kind = TraceErrorKind::kIo;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dlpsim

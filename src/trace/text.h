@@ -1,0 +1,47 @@
+// The text trace grammar: parsing one line, whole streams, and the
+// lenient/strict entry points that historically lived in
+// analysis/trace_replay.h (still re-exported from there).
+//
+// Format, one access per line (comments start with '#'):
+//     L <hex-or-dec address> <pc>
+//     S <hex-or-dec address> <pc>
+// e.g. "L 0x1f80 12". Addresses are bytes; pc is the load/store PC used
+// by DLP's PDPT.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "trace/error.h"
+#include "trace/record.h"
+
+namespace dlpsim {
+
+namespace trace {
+
+enum class LineKind { kAccess, kBlank, kBad };
+
+/// Parses one trace line into `out`. Shared by every text consumer
+/// (lenient parser, strict parser, TextTraceSource) so they can never
+/// drift apart on what "valid" means.
+LineKind ParseTraceLine(const std::string& line, TraceAccess* out,
+                        std::string* message);
+
+}  // namespace trace
+
+/// Parses the text format above. Invalid lines are reported via the
+/// optional error output and skipped (lenient mode, for exploratory use
+/// on dirty traces).
+std::vector<TraceAccess> ParseTrace(std::istream& in,
+                                    std::string* error = nullptr);
+
+/// Strict variant: stops at the FIRST malformed, truncated or trailing-
+/// garbage line and reports it as a typed error instead of silently
+/// replaying a partial trace. Returns false (with *error filled and *out
+/// holding every access before the bad line) on failure. Tools replaying
+/// user-supplied trace files should use this.
+bool ParseTraceStrict(std::istream& in, std::vector<TraceAccess>* out,
+                      TraceParseError* error);
+
+}  // namespace dlpsim

@@ -1,0 +1,64 @@
+#include "trace/writer.h"
+
+#include <ostream>
+
+namespace dlpsim::trace {
+
+PackedTraceWriter::PackedTraceWriter(std::ostream& os, std::string_view meta,
+                                     std::uint32_t block_records)
+    : os_(&os), block_records_(block_records == 0 ? 1 : block_records) {
+  if (meta.size() > kMaxMetaBytes) {
+    error_.kind = TraceErrorKind::kBadHeader;
+    error_.message = "metadata exceeds the " +
+                     std::to_string(kMaxMetaBytes) + "-byte limit";
+    return;
+  }
+  pending_.reserve(block_records_);
+  Emit(EncodeHeader(meta));
+}
+
+void PackedTraceWriter::Emit(const std::string& bytes) {
+  if (!ok()) return;
+  os_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!*os_) {
+    error_.kind = TraceErrorKind::kIo;
+    error_.message = "write error";
+  }
+}
+
+void PackedTraceWriter::FlushBlock() {
+  if (pending_.empty()) return;
+  Emit(EncodeBlock(pending_, 0, pending_.size()));
+  pending_.clear();
+}
+
+void PackedTraceWriter::Append(const TraceAccess& a) {
+  if (!ok() || finished_) return;
+  pending_.push_back(a);
+  ++total_;
+  if (pending_.size() >= block_records_) FlushBlock();
+}
+
+bool PackedTraceWriter::Finish() {
+  if (finished_) return ok();
+  finished_ = true;
+  FlushBlock();
+  Emit(EncodeFooter(total_));
+  if (ok()) {
+    os_->flush();
+    if (!*os_) {
+      error_.kind = TraceErrorKind::kIo;
+      error_.message = "flush error";
+    }
+  }
+  return ok();
+}
+
+bool WritePackedTrace(std::ostream& os, const std::vector<TraceAccess>& records,
+                      std::string_view meta, std::uint32_t block_records) {
+  PackedTraceWriter w(os, meta, block_records);
+  for (const TraceAccess& a : records) w.Append(a);
+  return w.Finish();
+}
+
+}  // namespace dlpsim::trace

@@ -1,0 +1,68 @@
+// Streaming writer for the DLPT packed binary trace format.
+//
+// Records are buffered into fixed-size blocks (block_records each),
+// delta/varint-encoded, LZ-compressed and CRC-stamped as they fill, so
+// writing a trace of any length holds O(block) memory. The output byte
+// stream is a pure function of (records, meta, block_records): two
+// writers fed the same trace produce byte-identical files on any
+// machine, which is what makes content hashing over packed bytes
+// (trace/hash.h) format- and machine-independent.
+//
+// Usage:
+//   PackedTraceWriter w(os, "app BFS\nscale 0.02\n");
+//   for (...) w.Append(access);
+//   if (!w.Finish()) report(w.error());
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/error.h"
+#include "trace/format.h"
+#include "trace/record.h"
+
+namespace dlpsim::trace {
+
+class PackedTraceWriter {
+ public:
+  /// Writes the header immediately. `meta` is free-form "key value"
+  /// line text (truncated writes surface via ok()/error()).
+  explicit PackedTraceWriter(std::ostream& os, std::string_view meta = "",
+                             std::uint32_t block_records =
+                                 kCanonicalBlockRecords);
+
+  /// Writers must be Finish()ed explicitly; destroying an unfinished
+  /// writer abandons the (invalid, footerless) stream on purpose so a
+  /// crashed producer can never masquerade as a complete trace.
+  ~PackedTraceWriter() = default;
+
+  void Append(const TraceAccess& a);
+
+  /// Flushes the final partial block and writes the footer. Returns
+  /// ok(). Append/Finish after Finish are invalid.
+  bool Finish();
+
+  bool ok() const { return error_.kind == TraceErrorKind::kNone; }
+  const TraceParseError& error() const { return error_; }
+  std::uint64_t appended() const { return total_; }
+
+ private:
+  void FlushBlock();
+  void Emit(const std::string& bytes);
+
+  std::ostream* os_;
+  std::uint32_t block_records_;
+  std::vector<TraceAccess> pending_;
+  std::uint64_t total_ = 0;
+  bool finished_ = false;
+  TraceParseError error_;
+};
+
+/// Packs a whole in-memory trace in one call.
+bool WritePackedTrace(std::ostream& os, const std::vector<TraceAccess>& records,
+                      std::string_view meta = "",
+                      std::uint32_t block_records = kCanonicalBlockRecords);
+
+}  // namespace dlpsim::trace

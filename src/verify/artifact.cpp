@@ -5,6 +5,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "trace/source.h"
+#include "trace/writer.h"
+
 namespace dlpsim::verify {
 
 namespace {
@@ -40,8 +43,9 @@ bool ParseU64(const std::string& s, std::uint64_t* out) {
 
 }  // namespace
 
-void WriteArtifact(std::ostream& out, const Artifact& a) {
+std::string ArtifactMetaText(const Artifact& a) {
   const L1DConfig& c = a.config;
+  std::ostringstream out;
   out << "# dlpsim differential-fuzz reproducer\n";
   out << "#@ policy " << PolicyToken(c.policy) << "\n";
   out << "#@ sets " << c.geom.sets << "\n";
@@ -74,50 +78,24 @@ void WriteArtifact(std::ostream& out, const Artifact& a) {
     }
     out << "#@ divergence " << msg << "\n";
   }
-  for (const TraceAccess& t : a.trace) {
-    out << (t.type == AccessType::kLoad ? "L 0x" : "S 0x") << std::hex
-        << t.addr << std::dec << " " << t.pc << "\n";
-  }
+  return out.str();
 }
 
-bool WriteArtifactFile(const std::string& path, const Artifact& a,
+bool ParseArtifactMeta(const std::string& meta_text, Artifact* out,
                        std::string* error) {
-  std::ofstream out(path);
-  if (!out) {
-    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
-    return false;
-  }
-  WriteArtifact(out, a);
-  out.flush();
-  if (!out) {
-    if (error != nullptr) *error = "write error on '" + path + "'";
-    return false;
-  }
-  return true;
-}
-
-bool ReadArtifact(std::istream& in, Artifact* out, std::string* error) {
-  *out = Artifact{};
   std::map<std::string, std::string> meta;
-  std::ostringstream body;
+  std::istringstream in(meta_text);
   std::string line;
   while (std::getline(in, line)) {
-    if (line.rfind("#@ ", 0) == 0) {
-      std::istringstream ls(line.substr(3));
-      std::string key;
-      if (ls >> key) {
-        std::string value;
-        std::getline(ls, value);
-        const auto first = value.find_first_not_of(" \t");
-        meta[key] = first == std::string::npos ? "" : value.substr(first);
-      }
-      continue;
+    if (line.rfind("#@ ", 0) != 0) continue;
+    std::istringstream ls(line.substr(3));
+    std::string key;
+    if (ls >> key) {
+      std::string value;
+      std::getline(ls, value);
+      const auto first = value.find_first_not_of(" \t");
+      meta[key] = first == std::string::npos ? "" : value.substr(first);
     }
-    body << line << "\n";
-  }
-  if (in.bad()) {
-    if (error != nullptr) *error = "stream read error";
-    return false;
   }
 
   L1DConfig& c = out->config;
@@ -202,6 +180,68 @@ bool ReadArtifact(std::istream& in, Artifact* out, std::string* error) {
     if (error != nullptr) *error = "artifact config invalid: drain_rate must be >= 1";
     return false;
   }
+  return true;
+}
+
+void WriteArtifact(std::ostream& out, const Artifact& a) {
+  out << ArtifactMetaText(a);
+  trace::WriteTextTrace(out, a.trace);
+}
+
+bool WriteArtifactFile(const std::string& path, const Artifact& a,
+                       std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  WriteArtifact(out, a);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write error on '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool WriteArtifactPacked(std::ostream& out, const Artifact& a,
+                         std::string* error) {
+  trace::PackedTraceWriter w(out, ArtifactMetaText(a));
+  for (const TraceAccess& t : a.trace) w.Append(t);
+  if (!w.Finish()) {
+    if (error != nullptr) *error = w.error().ToString();
+    return false;
+  }
+  return true;
+}
+
+bool WriteArtifactPackedFile(const std::string& path, const Artifact& a,
+                             std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  return WriteArtifactPacked(out, a, error);
+}
+
+bool ReadArtifact(std::istream& in, Artifact* out, std::string* error) {
+  *out = Artifact{};
+  std::ostringstream meta;
+  std::ostringstream body;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("#@ ", 0) == 0) {
+      meta << line << "\n";
+      continue;
+    }
+    body << line << "\n";
+  }
+  if (in.bad()) {
+    if (error != nullptr) *error = "stream read error";
+    return false;
+  }
+  if (!ParseArtifactMeta(meta.str(), out, error)) return false;
 
   std::istringstream body_in(body.str());
   TraceParseError parse_error;
@@ -220,6 +260,30 @@ bool ReadArtifactFile(const std::string& path, Artifact* out,
     return false;
   }
   return ReadArtifact(in, out, error);
+}
+
+bool ReadArtifactAuto(const std::string& path, Artifact* out,
+                      std::string* error) {
+  TraceParseError open_error;
+  auto src = trace::OpenTraceFile(path, &open_error);
+  if (src == nullptr) {
+    if (error != nullptr) *error = open_error.ToString();
+    return false;
+  }
+  auto* packed = dynamic_cast<trace::PackedTraceSource*>(src.get());
+  if (packed == nullptr) {
+    return ReadArtifactFile(path, out, error);
+  }
+  *out = Artifact{};
+  // Forces the header read; a header error surfaces on the first Next().
+  const std::string meta = packed->meta();
+  TraceParseError parse_error;
+  if (!trace::ReadAllRecords(*packed, &out->trace, &parse_error)) {
+    if (error != nullptr) *error = parse_error.ToString();
+    return false;
+  }
+  if (!ParseArtifactMeta(meta, out, error)) return false;
+  return true;
 }
 
 }  // namespace dlpsim::verify

@@ -1,12 +1,21 @@
 // Replayable failure artifacts for the differential fuzzer.
 //
-// An artifact is a plain trace file in the analysis/trace_replay text
-// format, with the full reproduction context (policy, cache geometry,
-// drive timing, fuzzer seed, divergence message) carried in `#@ key
-// value` comment lines. Because `#` starts a comment, every artifact is
-// also directly consumable by ParseTrace/ParseTraceStrict and any other
-// trace tool; verify_fuzz --replay reads the metadata back and re-runs
-// the exact differential configuration that failed.
+// An artifact carries the full reproduction context (policy, cache
+// geometry, drive timing, fuzzer seed, divergence message) as `#@ key
+// value` metadata lines plus the failing trace, in either trace format:
+//
+//   text   - a plain trace file in the analysis/trace_replay grammar with
+//            the metadata as comment lines. Because `#` starts a comment,
+//            every text artifact is also directly consumable by
+//            ParseTrace/ParseTraceStrict and any other trace tool.
+//   packed - a DLPT binary trace (trace/format.h) whose header metadata
+//            section holds the very same `#@ key value` lines. Packed is
+//            the default for fuzzer output (artifacts are often large
+//            before shrinking); `tools/trace_pack --unpack` turns one
+//            back into text without losing the metadata.
+//
+// verify_fuzz --replay sniffs the format, reads the metadata back and
+// re-runs the exact differential configuration that failed.
 #pragma once
 
 #include <iosfwd>
@@ -28,19 +37,39 @@ struct Artifact {
   std::vector<TraceAccess> trace;
 };
 
-/// Serializes `a` as a commented trace file.
+/// The `#@ key value` metadata block for `a` (shared verbatim by the
+/// text body and the packed header).
+std::string ArtifactMetaText(const Artifact& a);
+
+/// Parses a metadata block into *out (trace untouched; missing keys keep
+/// their defaults). Validates the recovered config so a hand-edited
+/// artifact cannot crash the replayer.
+bool ParseArtifactMeta(const std::string& meta, Artifact* out,
+                       std::string* error);
+
+/// Serializes `a` as a commented text trace file.
 void WriteArtifact(std::ostream& out, const Artifact& a);
 
 /// Writes to `path`; returns false (with *error filled) on I/O failure.
 bool WriteArtifactFile(const std::string& path, const Artifact& a,
                        std::string* error = nullptr);
 
-/// Parses an artifact (or any plain trace: missing metadata keys keep
-/// their defaults). Returns false with *error on malformed input; the
-/// recovered config is validated so a hand-edited artifact cannot crash
-/// the replayer.
+/// Serializes `a` in the packed binary format (metadata in the DLPT
+/// header, trace in the blocks).
+bool WriteArtifactPacked(std::ostream& out, const Artifact& a,
+                         std::string* error = nullptr);
+bool WriteArtifactPackedFile(const std::string& path, const Artifact& a,
+                             std::string* error = nullptr);
+
+/// Parses a text artifact (or any plain trace: missing metadata keys
+/// keep their defaults). Returns false with *error on malformed input.
 bool ReadArtifact(std::istream& in, Artifact* out, std::string* error);
 bool ReadArtifactFile(const std::string& path, Artifact* out,
+                      std::string* error);
+
+/// Reads an artifact in whichever format `path` holds (sniffs the DLPT
+/// magic; everything else is parsed as text).
+bool ReadArtifactAuto(const std::string& path, Artifact* out,
                       std::string* error);
 
 }  // namespace dlpsim::verify

@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "sim/rng.h"
+#include "trace/format.h"
+#include "trace/source.h"
+#include "trace/writer.h"
 
 namespace dlpsim::verify {
 
@@ -313,6 +316,133 @@ std::string FuzzTraceParsers(std::uint64_t seed, std::size_t iterations) {
           lenient[i].type != strict[i].type) {
         return describe("parsers disagree on access " + std::to_string(i));
       }
+    }
+  }
+  return "";
+}
+
+namespace {
+
+/// A small seeded trace with hostile shapes (wraparound addresses,
+/// max-delta jumps, duplicate PCs) to pack and then corrupt.
+std::vector<TraceAccess> RandomPackedFuzzTrace(Rng& rng) {
+  const std::size_t n = rng.Below(64);  // zero-length traces included
+  std::vector<TraceAccess> trace;
+  trace.reserve(n);
+  Addr addr = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.Below(4)) {
+      case 0: addr += 128; break;
+      case 1: addr = rng.Next(); break;                      // max-delta jump
+      case 2: addr = ~std::uint64_t{0} - rng.Below(256); break;  // wrap zone
+      default: break;                                        // duplicate addr
+    }
+    trace.push_back(TraceAccess{
+        addr, static_cast<Pc>(rng.Below(8)),
+        rng.Below(4) == 0 ? AccessType::kStore : AccessType::kLoad});
+  }
+  return trace;
+}
+
+}  // namespace
+
+std::string FuzzPackedTraces(std::uint64_t seed, std::size_t iterations) {
+  Rng rng(HashMix(seed, 0x9c41ull));
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const auto describe = [&](const std::string& what) {
+      return "iteration " + std::to_string(it) + ": " + what;
+    };
+    const std::vector<TraceAccess> original = RandomPackedFuzzTrace(rng);
+    static const std::string kFuzzMeta = "fuzz packed corpus\n";
+    std::ostringstream packed_os;
+    if (!trace::WritePackedTrace(packed_os, original, kFuzzMeta,
+                                 /*block_records=*/
+                                 static_cast<std::uint32_t>(
+                                     1 + rng.Below(16)))) {
+      return describe("writer failed on a valid trace");
+    }
+    std::string bytes = packed_os.str();
+
+    // Apply one seeded corruption. Every case must surface as a typed
+    // error: single-byte XOR is caught by a CRC (or a bounds check when
+    // it lands in a length field), truncation by the footer requirement.
+    const std::uint64_t mode = rng.Below(6);
+    bool mutated = true;
+    switch (mode) {
+      case 0:  // truncation strictly inside the stream
+        bytes.resize(rng.Below(bytes.size()));
+        break;
+      case 1: {  // single-byte XOR anywhere
+        const std::size_t pos = rng.Below(bytes.size());
+        bytes[pos] = static_cast<char>(
+            static_cast<unsigned char>(bytes[pos]) ^
+            static_cast<unsigned char>(1 + rng.Below(255)));
+        break;
+      }
+      case 2: {  // oversized declared metadata length
+        const std::uint32_t huge =
+            static_cast<std::uint32_t>(trace::kMaxMetaBytes + 1 + rng.Below(1u << 30));
+        std::string enc;
+        trace::PutU32(&enc, huge);
+        bytes.replace(8, 4, enc);
+        break;
+      }
+      case 3: {  // oversized declared block raw length (first block)
+        // (On a zero-record trace this lands in the footer instead --
+        // still a guaranteed typed error via the footer CRC.)
+        const std::size_t block_off = trace::kHeaderBytes + kFuzzMeta.size();
+        if (block_off + 8 > bytes.size()) {
+          mutated = false;
+          break;
+        }
+        std::string enc;
+        trace::PutU32(&enc,
+                      static_cast<std::uint32_t>(trace::kMaxBlockRawBytes + 1));
+        bytes.replace(block_off + 4, 4, enc);
+        break;
+      }
+      case 4:  // bad magic
+        bytes[0] = 'X';
+        break;
+      default: {  // wrong version
+        std::string enc;
+        trace::PutU32(&enc, trace::kFormatVersion + 1 + static_cast<std::uint32_t>(rng.Below(100)));
+        bytes.replace(4, 4, enc);
+        break;
+      }
+    }
+    if (!mutated) continue;
+
+    std::istringstream in(bytes);
+    trace::PackedTraceSource src(in);
+    std::vector<TraceAccess> decoded;
+    TraceAccess a;
+    try {
+      // Bounded by construction (each Next consumes input), but guard
+      // against pathological loops anyway.
+      std::size_t pulls = 0;
+      while (src.Next(&a)) {
+        decoded.push_back(a);
+        if (++pulls > original.size() + (1u << 16)) {
+          return describe("reader yielded far more records than written");
+        }
+      }
+    } catch (const std::exception& e) {
+      return describe(std::string("packed reader threw: ") + e.what());
+    } catch (...) {
+      return describe("packed reader threw a non-std exception");
+    }
+    if (src.ok()) {
+      return describe("corruption mode " + std::to_string(mode) +
+                      " was accepted silently (" +
+                      std::to_string(decoded.size()) + " records)");
+    }
+    if (src.error().kind == TraceErrorKind::kNone ||
+        src.error().kind == TraceErrorKind::kBadText) {
+      return describe("error kind is not a typed packed-format kind");
+    }
+    if (src.error().message.empty()) {
+      return describe("typed error carries no message");
     }
   }
   return "";

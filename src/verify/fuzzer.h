@@ -73,4 +73,15 @@ FuzzOutcome FuzzOneSeed(std::uint64_t seed, PolicyKind policy,
 /// missing fields.
 std::string FuzzTraceParsers(std::uint64_t seed, std::size_t iterations);
 
+/// Feeds `iterations` seeded corrupted DLPT packed byte streams to
+/// PackedTraceSource and checks the reader's contract: no crash, no
+/// unbounded loop, and -- because every section is length-bounded and
+/// CRC-protected -- any single-byte corruption or truncation surfaces as
+/// a typed TraceParseError (never a silent partial read that still
+/// claims ok()). Corruptions cycle through: truncation at a seeded
+/// offset (header, mid-block, footer), single-byte XOR, oversized
+/// declared block/metadata lengths, bad magic and wrong version. Returns
+/// a description of the first violation, or "" when the reader holds up.
+std::string FuzzPackedTraces(std::uint64_t seed, std::size_t iterations);
+
 }  // namespace dlpsim::verify

@@ -1,0 +1,208 @@
+// Corrupted-input suite for the packed trace reader (ISSUE satellite:
+// every corruption class surfaces as a *typed* TraceParseError -- never a
+// crash, an unbounded loop or a silent partial read that claims ok()).
+//
+// Directed cases cover each class once with its exact error kind pinned;
+// the seeded FuzzPackedTraces corpus (same generator the verify-fuzz CI
+// job runs with 500 cases) then sweeps truncations, bit flips and
+// length-field forgeries across random hostile traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "trace/format.h"
+#include "trace/record.h"
+#include "trace/source.h"
+#include "trace/writer.h"
+#include "verify/fuzzer.h"
+
+namespace dlpsim::trace {
+namespace {
+
+std::vector<TraceAccess> SmallTrace() {
+  std::vector<TraceAccess> out;
+  Rng rng(7);
+  Addr a = 0;
+  for (int i = 0; i < 40; ++i) {
+    a += 128 * (1 + rng.Below(8));
+    out.push_back({a, static_cast<Pc>(rng.Below(3)),
+                   rng.Below(4) == 0 ? AccessType::kStore : AccessType::kLoad});
+  }
+  return out;
+}
+
+std::string PackedBytes(const std::string& meta = "k v\n",
+                        std::uint32_t block_records = 16) {
+  std::ostringstream os;
+  EXPECT_TRUE(WritePackedTrace(os, SmallTrace(), meta, block_records));
+  return os.str();
+}
+
+/// Reads `bytes` to exhaustion; returns the terminal error (kind kNone
+/// when the stream parsed cleanly). Asserts the pull loop is bounded
+/// (ASSERT_ needs a void context, hence the inner lambda).
+TraceParseError MustReadAll(const std::string& bytes) {
+  TraceParseError err;
+  [&]() {
+    std::istringstream is(bytes);
+    PackedTraceSource src(is);
+    TraceAccess a;
+    std::size_t pulls = 0;
+    while (src.Next(&a)) {
+      ASSERT_LT(++pulls, 1u << 20) << "unbounded pull loop";
+    }
+    err = src.error();
+  }();
+  return err;
+}
+
+TEST(Corrupt, CleanStreamParses) {
+  EXPECT_EQ(MustReadAll(PackedBytes()).kind, TraceErrorKind::kNone);
+}
+
+TEST(Corrupt, TruncatedHeader) {
+  const std::string bytes = PackedBytes();
+  for (std::size_t n = 0; n < kHeaderBytes; ++n) {
+    const TraceParseError err = MustReadAll(bytes.substr(0, n));
+    EXPECT_EQ(err.kind, TraceErrorKind::kBadHeader) << "len " << n;
+    EXPECT_FALSE(err.message.empty());
+  }
+}
+
+TEST(Corrupt, BadMagic) {
+  std::string bytes = PackedBytes();
+  bytes[0] = 'X';
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kBadMagic);
+}
+
+TEST(Corrupt, WrongVersion) {
+  std::string bytes = PackedBytes();
+  bytes[4] = static_cast<char>(kFormatVersion + 1);
+  const TraceParseError err = MustReadAll(bytes);
+  EXPECT_EQ(err.kind, TraceErrorKind::kBadVersion);
+  EXPECT_NE(err.message.find(std::to_string(kFormatVersion + 1)),
+            std::string::npos);
+}
+
+TEST(Corrupt, FlippedMetaCrc) {
+  std::string bytes = PackedBytes();
+  bytes[12] = static_cast<char>(bytes[12] ^ 0x01);  // meta CRC field
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kCrcMismatch);
+}
+
+TEST(Corrupt, FlippedMetaByte) {
+  std::string bytes = PackedBytes();
+  bytes[kHeaderBytes] = static_cast<char>(bytes[kHeaderBytes] ^ 0x20);
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kCrcMismatch);
+}
+
+TEST(Corrupt, FlippedBlockPayloadByte) {
+  const std::string meta = "k v\n";
+  std::string bytes = PackedBytes(meta);
+  const std::size_t payload_start =
+      kHeaderBytes + meta.size() + kBlockHeaderBytes;
+  ASSERT_LT(payload_start, bytes.size());
+  bytes[payload_start] = static_cast<char>(bytes[payload_start] ^ 0x80);
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kCrcMismatch);
+}
+
+TEST(Corrupt, TruncatedFinalBlockAndFooter) {
+  const std::string bytes = PackedBytes();
+  // Every strict prefix that survives the header must end kTruncated or
+  // another typed kind -- never ok: a DLPT stream is only complete with
+  // its footer.
+  for (std::size_t n = kHeaderBytes; n < bytes.size(); ++n) {
+    const TraceParseError err = MustReadAll(bytes.substr(0, n));
+    EXPECT_NE(err.kind, TraceErrorKind::kNone) << "prefix " << n;
+    EXPECT_NE(err.kind, TraceErrorKind::kBadText) << "prefix " << n;
+  }
+}
+
+TEST(Corrupt, OversizedDeclaredRawLength) {
+  const std::string meta = "k v\n";
+  std::string bytes = PackedBytes(meta);
+  const std::size_t block_off = kHeaderBytes + meta.size();
+  // raw_len field (second u32 of the block header) -> over the 4 MiB cap.
+  std::string big;
+  PutU32(&big, static_cast<std::uint32_t>(kMaxBlockRawBytes + 1));
+  bytes.replace(block_off + 4, 4, big);
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kOversizedBlock);
+}
+
+TEST(Corrupt, OversizedDeclaredCompressedLength) {
+  const std::string meta = "k v\n";
+  std::string bytes = PackedBytes(meta);
+  const std::size_t block_off = kHeaderBytes + meta.size();
+  // comp_len far beyond the LZ bound for the declared raw_len.
+  std::string big;
+  PutU32(&big, 3u << 20);
+  bytes.replace(block_off, 4, big);
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kOversizedBlock);
+}
+
+TEST(Corrupt, OversizedDeclaredMetaLength) {
+  std::string bytes = PackedBytes();
+  std::string big;
+  PutU32(&big, static_cast<std::uint32_t>(kMaxMetaBytes + 1));
+  bytes.replace(8, 4, big);
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kBadHeader);
+}
+
+TEST(Corrupt, ZeroRecordCountBlock) {
+  const std::string meta = "k v\n";
+  std::string bytes = PackedBytes(meta);
+  const std::size_t block_off = kHeaderBytes + meta.size();
+  std::string zero;
+  PutU32(&zero, 0);
+  bytes.replace(block_off + 8, 4, zero);  // count field
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kBadBlock);
+}
+
+TEST(Corrupt, FooterCountMismatch) {
+  std::string bytes = PackedBytes();
+  // Forge the footer: bump the count and restamp its CRC so only the
+  // count check can catch it.
+  const std::size_t footer = bytes.size() - kFooterBytes;
+  const std::uint64_t total = GetU64(bytes.data() + footer + 4);
+  std::string forged;
+  PutU64(&forged, total + 1);
+  std::string crc;
+  PutU32(&crc, Crc32(forged));
+  bytes.replace(footer + 4, 8, forged);
+  bytes.replace(footer + 12, 4, crc);
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kBadHeader);
+}
+
+TEST(Corrupt, FlippedFooterCrc) {
+  std::string bytes = PackedBytes();
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x10);
+  EXPECT_EQ(MustReadAll(bytes).kind, TraceErrorKind::kCrcMismatch);
+}
+
+TEST(Corrupt, ErrorOffsetsAndMessagesAreFilled) {
+  std::string bytes = PackedBytes();
+  bytes.resize(bytes.size() - 1);
+  const TraceParseError err = MustReadAll(bytes);
+  EXPECT_NE(err.kind, TraceErrorKind::kNone);
+  EXPECT_FALSE(err.message.empty());
+  EXPECT_FALSE(std::string(ToString(err.kind)).empty());
+  EXPECT_NE(err.ToString(), "");
+}
+
+TEST(Corrupt, SeededCorpusAllTypedErrors) {
+  // 500-case corpus -- the same budget the verify-fuzz CI job runs.
+  const std::string violation = verify::FuzzPackedTraces(2026, 500);
+  EXPECT_EQ(violation, "");
+}
+
+TEST(Corrupt, SeededCorpusIsSeedStable) {
+  EXPECT_EQ(verify::FuzzPackedTraces(7, 50), "");
+  EXPECT_EQ(verify::FuzzPackedTraces(8, 50), "");
+}
+
+}  // namespace
+}  // namespace dlpsim::trace

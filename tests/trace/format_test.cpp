@@ -1,0 +1,229 @@
+// Primitive-codec tests for the DLPT packed trace format: varint/zigzag
+// round trips at the edges, the CRC-32 test vector, LZ compressor round
+// trips (including hostile inputs to the decompressor), and the block
+// payload codec's reserved-bit / trailing-byte strictness.
+#include "trace/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "trace/lz.h"
+
+namespace dlpsim::trace {
+namespace {
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const std::uint64_t values[] = {
+      0,   1,   127, 128, 129, 16383, 16384, 1u << 20, (1ull << 32) - 1,
+      1ull << 32, 1ull << 56, std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) {
+    std::string buf;
+    PutVarint(&buf, v);
+    ASSERT_LE(buf.size(), 10u);
+    std::size_t pos = 0;
+    std::uint64_t got = 0;
+    ASSERT_TRUE(GetVarint(buf, &pos, &got)) << v;
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, OneByteEncodingsAreMinimal) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    std::string buf;
+    PutVarint(&buf, v);
+    EXPECT_EQ(buf.size(), 1u);
+  }
+}
+
+TEST(Varint, RejectsTruncatedInput) {
+  std::string buf;
+  PutVarint(&buf, std::numeric_limits<std::uint64_t>::max());
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::size_t pos = 0;
+    std::uint64_t got = 0;
+    EXPECT_FALSE(GetVarint(std::string_view(buf).substr(0, cut), &pos, &got))
+        << "truncated at " << cut;
+  }
+}
+
+TEST(Varint, RejectsOverlongTenByteEncoding) {
+  // Ten continuation-heavy bytes whose 10th byte carries bits beyond
+  // 2^64 must be rejected, not silently wrapped.
+  std::string buf(9, '\xff');
+  buf.push_back('\x7f');  // would need 70 bits
+  std::size_t pos = 0;
+  std::uint64_t got = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos, &got));
+}
+
+TEST(Zigzag, RoundTripsFullRange) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -2,
+                                 2,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v) << v;
+  }
+  // Small magnitudes map to small codes (the property delta encoding
+  // relies on for density).
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+}
+
+TEST(Crc32, MatchesTheStandardTestVector) {
+  // The universal CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    std::uint32_t crc = Crc32Update(0, std::string_view(data).substr(0, cut));
+    crc = Crc32Update(crc, std::string_view(data).substr(cut));
+    EXPECT_EQ(crc, Crc32(data)) << "split at " << cut;
+  }
+}
+
+TEST(LittleEndian, U32AndU64RoundTrip) {
+  std::string buf;
+  PutU32(&buf, 0x01020304u);
+  PutU64(&buf, 0x0102030405060708ull);
+  ASSERT_EQ(buf.size(), 12u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04u);  // little-endian
+  EXPECT_EQ(GetU32(buf.data()), 0x01020304u);
+  EXPECT_EQ(GetU64(buf.data() + 4), 0x0102030405060708ull);
+}
+
+std::string Pattern(std::size_t n, int kind) {
+  std::string s;
+  s.reserve(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(kind);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (kind) {
+      case 0:  // constant run
+        s.push_back('a');
+        break;
+      case 1:  // short period
+        s.push_back(static_cast<char>('a' + i % 4));
+        break;
+      default:  // pseudo-random (incompressible)
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.push_back(static_cast<char>(x));
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(Lz, RoundTripsRepresentativeInputs) {
+  const std::size_t sizes[] = {0, 1, 3, 4, 5, 64, 255, 256, 1000, 70000};
+  for (const std::size_t n : sizes) {
+    for (int kind = 0; kind < 3; ++kind) {
+      const std::string raw = Pattern(n, kind);
+      const std::string comp = LzCompress(raw);
+      ASSERT_LE(comp.size(), LzMaxCompressedSize(raw.size()));
+      std::string back;
+      ASSERT_TRUE(LzDecompress(comp, raw.size(), &back))
+          << "n=" << n << " kind=" << kind;
+      EXPECT_EQ(back, raw) << "n=" << n << " kind=" << kind;
+    }
+  }
+}
+
+TEST(Lz, CompressesRuns) {
+  const std::string raw = Pattern(64 * 1024, 0);
+  EXPECT_LT(LzCompress(raw).size(), raw.size() / 8);
+}
+
+TEST(Lz, DecompressRejectsTruncatedStreams) {
+  const std::string raw = Pattern(4096, 1);
+  const std::string comp = LzCompress(raw);
+  for (std::size_t cut = 0; cut < comp.size(); cut += 7) {
+    std::string back;
+    EXPECT_FALSE(
+        LzDecompress(std::string_view(comp).substr(0, cut), raw.size(), &back))
+        << "cut=" << cut;
+  }
+}
+
+TEST(Lz, DecompressRejectsWrongDeclaredSize) {
+  const std::string raw = Pattern(1000, 1);
+  const std::string comp = LzCompress(raw);
+  std::string back;
+  EXPECT_FALSE(LzDecompress(comp, raw.size() - 1, &back));
+  EXPECT_FALSE(LzDecompress(comp, raw.size() + 1, &back));
+}
+
+TEST(Lz, DecompressRejectsOutOfRangeMatchOffset) {
+  // Token 0x04: 0 literals, match_len 4+4=8... encode minimal stream:
+  // one sequence, no literals, offset 9 into an empty window.
+  std::string evil;
+  evil.push_back('\x04');
+  evil.push_back('\x09');  // offset lo
+  evil.push_back('\x00');  // offset hi
+  std::string back;
+  EXPECT_FALSE(LzDecompress(evil, 8, &back));
+}
+
+TEST(BlockPayload, RoundTripsIncludingWraparound) {
+  std::vector<TraceAccess> records = {
+      {0, 0, AccessType::kLoad},
+      {0xffffffffffffffffull, 1, AccessType::kStore},
+      {1, 1, AccessType::kLoad},  // wraps backwards across 2^64
+      {0x8000000000000000ull, 2, AccessType::kLoad},
+      {0x7fffffffffffffffull, 2, AccessType::kStore},
+  };
+  const std::string payload = EncodeBlockPayload(records, 0, records.size());
+  std::vector<TraceAccess> back;
+  TraceParseError err;
+  ASSERT_TRUE(DecodeBlockPayload(payload, records.size(), &back, &err))
+      << err.ToString();
+  EXPECT_EQ(back, records);
+}
+
+TEST(BlockPayload, RejectsReservedFlagBits) {
+  std::vector<TraceAccess> one = {{64, 1, AccessType::kLoad}};
+  std::string payload = EncodeBlockPayload(one, 0, 1);
+  payload[0] = static_cast<char>(payload[0] | 0x40);  // reserved bit
+  std::vector<TraceAccess> back;
+  TraceParseError err;
+  EXPECT_FALSE(DecodeBlockPayload(payload, 1, &back, &err));
+  EXPECT_EQ(err.kind, TraceErrorKind::kBadBlock);
+}
+
+TEST(BlockPayload, RejectsTrailingBytes) {
+  std::vector<TraceAccess> one = {{64, 1, AccessType::kLoad}};
+  std::string payload = EncodeBlockPayload(one, 0, 1);
+  payload.push_back('\0');
+  std::vector<TraceAccess> back;
+  TraceParseError err;
+  EXPECT_FALSE(DecodeBlockPayload(payload, 1, &back, &err));
+  EXPECT_EQ(err.kind, TraceErrorKind::kBadBlock);
+}
+
+TEST(BlockPayload, RejectsMissingBytes) {
+  std::vector<TraceAccess> two = {{64, 1, AccessType::kLoad},
+                                  {128, 2, AccessType::kStore}};
+  const std::string payload = EncodeBlockPayload(two, 0, 2);
+  std::vector<TraceAccess> back;
+  TraceParseError err;
+  EXPECT_FALSE(DecodeBlockPayload(payload.substr(0, payload.size() - 1), 2,
+                                  &back, &err));
+  EXPECT_EQ(err.kind, TraceErrorKind::kBadBlock);
+}
+
+}  // namespace
+}  // namespace dlpsim::trace

@@ -1,0 +1,194 @@
+// Round-trip property suite for the packed trace format (ISSUE satellite:
+// hostile seeded streams).
+//
+// Properties pinned here:
+//   * pack -> unpack reproduces the record sequence exactly, and its
+//     canonical text form is byte-identical to canonicalizing the input
+//     (unpack(pack(t)) == canonicalize(t)), for hostile streams: address
+//     wraparound across 2^64, maximum-delta jumps, zero-length traces,
+//     duplicate PCs and duplicate addresses.
+//   * TraceSource yields the identical sequence from the text form and
+//     the packed form of the same trace.
+//   * The writer's byte stream is a pure function of (records, meta,
+//     block size) -- two writers over the same trace emit identical
+//     bytes, which the content-hash layer (trace/hash.h) relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "trace/format.h"
+#include "trace/record.h"
+#include "trace/source.h"
+#include "trace/writer.h"
+
+namespace dlpsim::trace {
+namespace {
+
+/// Seeded hostile stream: mixes small strides, max-delta jumps between 0
+/// and 2^64-1, a wrap zone near the address-space top, duplicate
+/// addresses and heavily duplicated PCs.
+std::vector<TraceAccess> HostileTrace(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<TraceAccess> out;
+  out.reserve(n);
+  Addr addr = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.Below(6)) {
+      case 0:
+        addr += 128;  // small stride
+        break;
+      case 1:
+        addr = rng.Next();  // arbitrary jump
+        break;
+      case 2:
+        addr = ~0ull - rng.Below(256);  // wrap zone
+        break;
+      case 3:
+        addr = 0ull + rng.Below(256);  // low zone (max-delta from wrap zone)
+        break;
+      default:
+        break;  // duplicate the previous address
+    }
+    const Pc pc = static_cast<Pc>(rng.Below(4));  // duplicate PCs by design
+    const AccessType type =
+        rng.Below(4) == 0 ? AccessType::kStore : AccessType::kLoad;
+    out.push_back({addr, pc, type});
+  }
+  return out;
+}
+
+std::string PackToString(const std::vector<TraceAccess>& records,
+                         std::uint32_t block_records,
+                         std::string_view meta = "") {
+  std::ostringstream os;
+  EXPECT_TRUE(WritePackedTrace(os, records, meta, block_records));
+  return os.str();
+}
+
+std::vector<TraceAccess> UnpackString(const std::string& bytes) {
+  std::istringstream is(bytes);
+  PackedTraceSource src(is);
+  std::vector<TraceAccess> out;
+  TraceParseError err;
+  EXPECT_TRUE(ReadAllRecords(src, &out, &err)) << err.ToString();
+  return out;
+}
+
+TEST(RoundTrip, HostileStreamsAcrossBlockSizes) {
+  const std::uint32_t block_sizes[] = {1, 3, 7, 64, kCanonicalBlockRecords};
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<TraceAccess> records = HostileTrace(seed, 500);
+    for (const std::uint32_t bs : block_sizes) {
+      const std::vector<TraceAccess> back =
+          UnpackString(PackToString(records, bs));
+      ASSERT_EQ(back, records) << "seed=" << seed << " block=" << bs;
+    }
+  }
+}
+
+TEST(RoundTrip, UnpackedCanonicalTextIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const std::vector<TraceAccess> records = HostileTrace(seed, 300);
+    const std::vector<TraceAccess> back =
+        UnpackString(PackToString(records, 17));
+    EXPECT_EQ(CanonicalText(back), CanonicalText(records)) << "seed=" << seed;
+  }
+}
+
+TEST(RoundTrip, ZeroLengthTrace) {
+  const std::vector<TraceAccess> empty;
+  const std::string bytes = PackToString(empty, kCanonicalBlockRecords);
+  // Header + footer only: no blocks.
+  EXPECT_EQ(bytes.size(), kHeaderBytes + kFooterBytes);
+  EXPECT_TRUE(UnpackString(bytes).empty());
+}
+
+TEST(RoundTrip, SingleRecordAndExactBlockBoundary) {
+  const std::vector<TraceAccess> one = {{~0ull, 0, AccessType::kStore}};
+  EXPECT_EQ(UnpackString(PackToString(one, 4)), one);
+
+  // Exactly 2 full blocks, then 2 full + 1 straggler.
+  std::vector<TraceAccess> eight = HostileTrace(99, 8);
+  EXPECT_EQ(UnpackString(PackToString(eight, 4)), eight);
+  eight.push_back({123, 9, AccessType::kLoad});
+  EXPECT_EQ(UnpackString(PackToString(eight, 4)), eight);
+}
+
+TEST(RoundTrip, MaxDeltaJumpsBetweenExtremes) {
+  // Alternating 0 <-> 2^64-1: every delta is the extreme zigzag value.
+  std::vector<TraceAccess> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back({i % 2 == 0 ? 0ull : ~0ull,
+                       static_cast<Pc>(i % 2 == 0 ? 0 : ~0u >> 1),
+                       AccessType::kLoad});
+  }
+  EXPECT_EQ(UnpackString(PackToString(records, 8)), records);
+}
+
+TEST(RoundTrip, MetadataSurvives) {
+  const std::vector<TraceAccess> records = HostileTrace(5, 32);
+  const std::string meta = "app BFS\nscale 0.02\n";
+  const std::string bytes = PackToString(records, 16, meta);
+  std::istringstream is(bytes);
+  PackedTraceSource src(is);
+  EXPECT_EQ(src.meta(), meta);
+  std::vector<TraceAccess> back;
+  TraceParseError err;
+  ASSERT_TRUE(ReadAllRecords(src, &back, &err)) << err.ToString();
+  EXPECT_EQ(back, records);
+}
+
+TEST(RoundTrip, SourceEquivalenceTextVsPacked) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const std::vector<TraceAccess> records = HostileTrace(seed, 400);
+
+    std::istringstream text_is(CanonicalText(records));
+    TextTraceSource text_src(text_is);
+
+    std::istringstream packed_is(PackToString(records, 32));
+    PackedTraceSource packed_src(packed_is);
+
+    // Pull in lockstep: identical sequence, identical length.
+    TraceAccess a;
+    TraceAccess b;
+    for (std::size_t i = 0;; ++i) {
+      const bool ta = text_src.Next(&a);
+      const bool pb = packed_src.Next(&b);
+      ASSERT_EQ(ta, pb) << "length diverged at " << i;
+      if (!ta) break;
+      ASSERT_EQ(a, b) << "record " << i << " diverged (seed " << seed << ")";
+    }
+    EXPECT_TRUE(text_src.ok()) << text_src.error().ToString();
+    EXPECT_TRUE(packed_src.ok()) << packed_src.error().ToString();
+    EXPECT_EQ(text_src.delivered(), records.size());
+    EXPECT_EQ(packed_src.delivered(), records.size());
+  }
+}
+
+TEST(RoundTrip, WriterBytesAreDeterministic) {
+  const std::vector<TraceAccess> records = HostileTrace(21, 1000);
+  const std::string a = PackToString(records, kCanonicalBlockRecords, "m 1\n");
+  const std::string b = PackToString(records, kCanonicalBlockRecords, "m 1\n");
+  EXPECT_EQ(a, b);
+  // Different block size -> different bytes, same records.
+  const std::string c = PackToString(records, 10, "m 1\n");
+  EXPECT_NE(a, c);
+  EXPECT_EQ(UnpackString(c), records);
+}
+
+TEST(RoundTrip, StreamingWriterMatchesOneShot) {
+  const std::vector<TraceAccess> records = HostileTrace(33, 257);
+  std::ostringstream streamed;
+  PackedTraceWriter w(streamed, "", 16);
+  for (const TraceAccess& a : records) w.Append(a);
+  ASSERT_TRUE(w.Finish()) << w.error().ToString();
+  EXPECT_EQ(w.appended(), records.size());
+  EXPECT_EQ(streamed.str(), PackToString(records, 16));
+}
+
+}  // namespace
+}  // namespace dlpsim::trace

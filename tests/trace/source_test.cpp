@@ -1,0 +1,266 @@
+// TraceSource contract tests: strict text semantics match
+// ParseTraceStrict, OpenTraceFile sniffs the format, Replay over a
+// source equals Replay over the in-memory vector, and the recording
+// frontend (TraceRecorder) captures the same stream it observes.
+#include "trace/source.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_replay.h"
+#include "core/l1d_cache.h"
+#include "sim/config.h"
+#include "trace/recorder.h"
+#include "trace/text.h"
+#include "trace/writer.h"
+
+namespace dlpsim::trace {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dlpsim_trace_src_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good());
+}
+
+TEST(TextSource, MatchesParseTraceStrictOnCleanInput) {
+  const std::string text =
+      "# comment\n"
+      "L 0x1000 1\n"
+      "\n"
+      "S 4096 2\n"
+      "L 0xffffffffffffffff 3\n";
+  std::vector<TraceAccess> parsed;
+  TraceParseError perr;
+  std::istringstream parse_is(text);
+  ASSERT_TRUE(ParseTraceStrict(parse_is, &parsed, &perr)) << perr.ToString();
+
+  std::istringstream is(text);
+  TextTraceSource src(is);
+  std::vector<TraceAccess> streamed;
+  TraceParseError serr;
+  ASSERT_TRUE(ReadAllRecords(src, &streamed, &serr)) << serr.ToString();
+  EXPECT_EQ(streamed, parsed);
+  EXPECT_EQ(src.delivered(), parsed.size());
+}
+
+TEST(TextSource, MatchesParseTraceStrictOnBadInput) {
+  const std::string text = "L 0x1000 1\nL zzz 2\nL 0x2000 3\n";
+  std::vector<TraceAccess> parsed;
+  TraceParseError perr;
+  std::istringstream parse_is(text);
+  ASSERT_FALSE(ParseTraceStrict(parse_is, &parsed, &perr));
+
+  std::istringstream is(text);
+  TextTraceSource src(is);
+  std::vector<TraceAccess> streamed;
+  TraceParseError serr;
+  ASSERT_FALSE(ReadAllRecords(src, &streamed, &serr));
+  // Same diagnosis: same line number, same typed kind; the stream stops
+  // at the bad line (records before it were already yielded).
+  EXPECT_EQ(serr.line, perr.line);
+  EXPECT_EQ(serr.kind, TraceErrorKind::kBadText);
+  EXPECT_EQ(streamed.size(), 1u);
+}
+
+TEST(TextSource, NextAfterErrorStaysFalse) {
+  std::istringstream is("junk\nL 0x1000 1\n");
+  TextTraceSource src(is);
+  TraceAccess a;
+  EXPECT_FALSE(src.Next(&a));
+  EXPECT_FALSE(src.Next(&a));  // sticky
+  EXPECT_FALSE(src.ok());
+}
+
+TEST(VectorSource, YieldsAllRecordsInOrder) {
+  const std::vector<TraceAccess> records = {
+      {0, 1, AccessType::kLoad}, {128, 2, AccessType::kStore}};
+  VectorTraceSource src(records);
+  std::vector<TraceAccess> out;
+  TraceParseError err;
+  ASSERT_TRUE(ReadAllRecords(src, &out, &err));
+  EXPECT_EQ(out, records);
+}
+
+TEST(OpenTraceFile, SniffsPackedVsText) {
+  TempDir tmp;
+  const std::vector<TraceAccess> records = {
+      {0x1000, 1, AccessType::kLoad},
+      {0x1080, 2, AccessType::kStore},
+      {0x1000, 1, AccessType::kLoad},
+  };
+
+  {
+    std::ofstream os(tmp.Path("t.trace"), std::ios::binary);
+    WriteTextTrace(os, records);
+  }
+  {
+    std::ofstream os(tmp.Path("t.dlpt"), std::ios::binary);
+    ASSERT_TRUE(WritePackedTrace(os, records));
+  }
+
+  for (const char* name : {"t.trace", "t.dlpt"}) {
+    TraceParseError err;
+    auto src = OpenTraceFile(tmp.Path(name), &err);
+    ASSERT_NE(src, nullptr) << name << ": " << err.ToString();
+    std::vector<TraceAccess> out;
+    ASSERT_TRUE(ReadAllRecords(*src, &out, &err)) << err.ToString();
+    EXPECT_EQ(out, records) << name;
+  }
+
+  // The sniffer keys on the magic, not the file name.
+  TraceParseError err;
+  auto src = OpenTraceFile(tmp.Path("t.dlpt"), &err);
+  EXPECT_NE(dynamic_cast<PackedTraceSource*>(src.get()), nullptr);
+  src = OpenTraceFile(tmp.Path("t.trace"), &err);
+  EXPECT_NE(dynamic_cast<TextTraceSource*>(src.get()), nullptr);
+}
+
+TEST(OpenTraceFile, MissingFileIsTypedIoError) {
+  TraceParseError err;
+  auto src = OpenTraceFile("/nonexistent/definitely-not-here.trace", &err);
+  EXPECT_EQ(src, nullptr);
+  EXPECT_EQ(err.kind, TraceErrorKind::kIo);
+  EXPECT_FALSE(err.message.empty());
+}
+
+TEST(OpenTraceFile, FileShorterThanMagicIsText) {
+  TempDir tmp;
+  WriteFile(tmp.Path("tiny"), "DL");
+  TraceParseError err;
+  auto src = OpenTraceFile(tmp.Path("tiny"), &err);
+  ASSERT_NE(src, nullptr);
+  // "DL" is not a valid text line -> strict error, not a crash.
+  std::vector<TraceAccess> out;
+  EXPECT_FALSE(ReadAllRecords(*src, &out, &err));
+  EXPECT_EQ(err.kind, TraceErrorKind::kBadText);
+}
+
+std::vector<TraceAccess> ReplayWorkload() {
+  std::vector<TraceAccess> t;
+  Addr stream = 1u << 20;
+  for (int i = 0; i < 2000; ++i) {
+    t.push_back({static_cast<Addr>((i % 32) * 128), 1, AccessType::kLoad});
+    t.push_back({stream, 2, AccessType::kLoad});
+    stream += 128;
+    if (i % 5 == 0) t.push_back({stream, 3, AccessType::kStore});
+  }
+  return t;
+}
+
+TEST(ReplayOverSource, EqualsReplayOverVector) {
+  const std::vector<TraceAccess> records = ReplayWorkload();
+  for (PolicyKind policy : {PolicyKind::kBaseline, PolicyKind::kDlp}) {
+    L1DConfig cfg = SimConfig::Baseline16KB().l1d;
+    cfg.policy = policy;
+
+    TraceReplayer by_vector(cfg);
+    const ReplayResult want = by_vector.Replay(records);
+
+    std::ostringstream packed;
+    ASSERT_TRUE(WritePackedTrace(packed, records, "", 64));
+    std::istringstream packed_is(packed.str());
+    PackedTraceSource packed_src(packed_is);
+    TraceReplayer by_packed(cfg);
+    const ReplayResult got_packed = by_packed.Replay(packed_src);
+    ASSERT_TRUE(packed_src.ok());
+
+    std::istringstream text_is(CanonicalText(records));
+    TextTraceSource text_src(text_is);
+    TraceReplayer by_text(cfg);
+    const ReplayResult got_text = by_text.Replay(text_src);
+    ASSERT_TRUE(text_src.ok());
+
+    for (const ReplayResult* got : {&got_packed, &got_text}) {
+      EXPECT_EQ(got->cycles, want.cycles);
+      EXPECT_EQ(got->accesses, want.accesses);
+      EXPECT_EQ(got->stall_cycles, want.stall_cycles);
+      EXPECT_EQ(got->cache.load_hits, want.cache.load_hits);
+      EXPECT_EQ(got->cache.load_misses, want.cache.load_misses);
+      EXPECT_EQ(got->cache.bypasses, want.cache.bypasses);
+      EXPECT_EQ(got->cache.evictions, want.cache.evictions);
+      EXPECT_EQ(got->cache.writebacks, want.cache.writebacks);
+    }
+  }
+}
+
+TEST(Recorder, CapturesTheObservedStreamIntoVectorAndWriter) {
+  L1DConfig cfg = SimConfig::Baseline16KB().l1d;
+  L1DCache cache(cfg);
+
+  std::vector<TraceAccess> collected;
+  std::ostringstream packed;
+  PackedTraceWriter writer(packed, "src test\n", 8);
+  TraceRecorder rec(&writer, &collected);
+  cache.SetObserver(&rec);
+
+  const std::vector<TraceAccess> driven = ReplayWorkload();
+  MshrToken token = 1;
+  std::vector<MshrToken> woken;
+  for (std::size_t i = 0; i < driven.size(); ++i) {
+    const MemAccess acc{driven[i].addr, driven[i].type, driven[i].pc,
+                        driven[i].type == AccessType::kLoad ? token++ : 0};
+    cache.Access(acc, static_cast<Cycle>(i));
+    // Service fills promptly so reservations never run out.
+    while (cache.HasOutgoing()) {
+      const L1DOutgoing out = cache.PopOutgoing();
+      if (!out.write) {
+        woken.clear();
+        cache.Fill(L1DResponse{out.block, out.no_fill, out.token},
+                   static_cast<Cycle>(i), woken);
+      }
+    }
+  }
+  ASSERT_TRUE(writer.Finish()) << writer.error().ToString();
+
+  // The recorder saw every completed access (this workload never hits
+  // kReservationFail thanks to the prompt fills).
+  EXPECT_EQ(rec.recorded(), driven.size());
+  EXPECT_EQ(collected.size(), driven.size());
+  EXPECT_EQ(writer.appended(), driven.size());
+
+  // Identity of the recorded stream: block numbers of the driven one.
+  for (std::size_t i = 0; i < driven.size(); ++i) {
+    EXPECT_EQ(collected[i].addr, driven[i].addr / cfg.geom.line_bytes);
+    EXPECT_EQ(collected[i].pc, driven[i].pc);
+    EXPECT_EQ(collected[i].type, driven[i].type);
+  }
+
+  // And the streamed packed copy decodes to exactly the collected trace.
+  std::istringstream is(packed.str());
+  PackedTraceSource src(is);
+  std::vector<TraceAccess> back;
+  TraceParseError err;
+  ASSERT_TRUE(ReadAllRecords(src, &back, &err)) << err.ToString();
+  EXPECT_EQ(back, collected);
+}
+
+}  // namespace
+}  // namespace dlpsim::trace

@@ -4,9 +4,11 @@
 // reports how fast the *simulator* is: simulated core cycles per wall
 // second, simulated L1D accesses per wall second, an aggregate per-phase
 // breakdown (from a separate profiled pass so profiling overhead never
-// contaminates the timed pass) and peak RSS. The result is written as
-// BENCH_<id>.json; committed snapshots of that file at the repo root form
-// the project's performance trajectory, one point per PR.
+// contaminates the timed pass), a trace-frontend ingest phase (packed vs
+// text decode rates over an in-memory recording of the first grid cell)
+// and peak RSS. The result is written as BENCH_<id>.json; committed
+// snapshots of that file at the repo root form the project's performance
+// trajectory, one point per PR.
 //
 // Regression gate: --baseline BENCH_<m>.json --max-regress <pct> compares
 // this run's cycles/sec and accesses/sec against the baseline document
@@ -40,6 +42,10 @@
 #include "harness.h"
 #include "obs/json.h"
 #include "obs/profiler.h"
+#include "trace/recorder.h"
+#include "trace/source.h"
+#include "trace/text.h"
+#include "trace/writer.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -59,7 +65,7 @@ struct Options {
   double max_regress_pct = 60.0;   // allowed rate drop vs baseline
   int repeat = 3;                  // timed passes; best (fastest) wins
   double scale = 0.05;             // workload scale factor
-  int bench_id = 6;                // stamp for the default output name
+  int bench_id = 9;                // stamp for the default output name
   std::vector<std::string> apps = {"BFS", "BP", "HS", "SRAD"};
   std::vector<std::string> configs = {"base", "dlp"};
 };
@@ -174,6 +180,74 @@ std::vector<CellResult> RunGridOnce(const Options& opt,
   return cells;
 }
 
+/// Packed-ingest throughput phase: records the first grid cell's access
+/// stream once, serializes it to the packed and text forms in memory,
+/// then times draining each form through its TraceSource (best of
+/// --repeat). This measures the trace frontend the replayer and the
+/// serve layer sit on, with no disk in the loop.
+struct IngestResult {
+  std::uint64_t records = 0;
+  std::uint64_t packed_bytes = 0;
+  std::uint64_t text_bytes = 0;
+  double packed_best_wall = 0.0;
+  double text_best_wall = 0.0;
+};
+
+IngestResult RunIngestPhase(const Options& opt) {
+  IngestResult r;
+  std::vector<dlpsim::TraceAccess> records;
+  {
+    Workload wl = MakeWorkload(opt.apps.front(), opt.scale);
+    GpuSimulator gpu(dlpsim::bench::ConfigFor(opt.configs.front()),
+                     wl.program.get(), wl.warps_per_sm);
+    dlpsim::trace::TraceRecorder rec(&records);
+    gpu.AttachObserver(&rec);
+    gpu.Run();
+  }
+  r.records = records.size();
+
+  std::ostringstream packed_os;
+  if (!dlpsim::trace::WritePackedTrace(packed_os, records)) return r;
+  const std::string packed = packed_os.str();
+  const std::string text = dlpsim::trace::CanonicalText(records);
+  r.packed_bytes = packed.size();
+  r.text_bytes = text.size();
+
+  auto drain = [&records](dlpsim::trace::TraceSource& src) {
+    std::vector<dlpsim::TraceAccess> out;
+    dlpsim::TraceParseError err;
+    if (!dlpsim::trace::ReadAllRecords(src, &out, &err) ||
+        out.size() != records.size()) {
+      std::cerr << "dlpsim_bench: ingest round trip mismatch: "
+                << err.ToString() << '\n';
+      std::exit(2);
+    }
+  };
+  for (int rep = 0; rep < opt.repeat; ++rep) {
+    {
+      std::istringstream is(packed);
+      dlpsim::trace::PackedTraceSource src(is);
+      const dlpsim::exec::Stopwatch clock;
+      drain(src);
+      const double s = clock.Seconds();
+      if (r.packed_best_wall == 0.0 || s < r.packed_best_wall) {
+        r.packed_best_wall = s;
+      }
+    }
+    {
+      std::istringstream is(text);
+      dlpsim::trace::TextTraceSource src(is);
+      const dlpsim::exec::Stopwatch clock;
+      drain(src);
+      const double s = clock.Seconds();
+      if (r.text_best_wall == 0.0 || s < r.text_best_wall) {
+        r.text_best_wall = s;
+      }
+    }
+  }
+  return r;
+}
+
 std::uint64_t PeakRssKb() {
   struct rusage ru{};
   if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
@@ -185,7 +259,7 @@ void WriteBenchJson(std::ostream& os, const Options& opt,
                     std::uint64_t total_cycles, std::uint64_t total_accesses,
                     double best_wall, const std::vector<double>& walls,
                     const dlpsim::obs::Profiler& profiler,
-                    double profile_wall) {
+                    double profile_wall, const IngestResult& ingest) {
   JsonWriter w(os);
   w.BeginObject();
   w.KV("schema", "dlpsim-bench-v1");
@@ -239,6 +313,23 @@ void WriteBenchJson(std::ostream& os, const Options& opt,
     w.EndObject();
   }
   w.EndArray();
+
+  // Trace-frontend ingest rates (packed vs text, in-memory, best-of-N).
+  w.Key("trace_ingest").BeginObject();
+  w.KV("records", ingest.records);
+  w.KV("packed_bytes", ingest.packed_bytes);
+  w.KV("text_bytes", ingest.text_bytes);
+  w.KV("packed_wall_seconds_best", ingest.packed_best_wall);
+  w.KV("text_wall_seconds_best", ingest.text_best_wall);
+  w.KV("packed_records_per_second",
+       ingest.packed_best_wall > 0.0
+           ? static_cast<double>(ingest.records) / ingest.packed_best_wall
+           : 0.0);
+  w.KV("text_records_per_second",
+       ingest.text_best_wall > 0.0
+           ? static_cast<double>(ingest.records) / ingest.text_best_wall
+           : 0.0);
+  w.EndObject();
 
   w.KV("peak_rss_kb", PeakRssKb());
   w.EndObject();
@@ -310,6 +401,12 @@ int main(int argc, char** argv) {
   RunGridOnce(opt, &profiler);
   const double profile_wall = profile_clock.Seconds();
 
+  const IngestResult ingest = RunIngestPhase(opt);
+  std::cerr << "[bench] trace ingest: " << ingest.records << " records, "
+            << ingest.packed_bytes << " B packed / " << ingest.text_bytes
+            << " B text, packed " << ingest.packed_best_wall << " s, text "
+            << ingest.text_best_wall << " s\n";
+
   {
     std::ofstream os(opt.out);
     if (!os) {
@@ -317,7 +414,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     WriteBenchJson(os, opt, cells, total_cycles, total_accesses, best_wall,
-                   walls, profiler, profile_wall);
+                   walls, profiler, profile_wall, ingest);
   }
   const double cps =
       best_wall > 0.0 ? static_cast<double>(total_cycles) / best_wall : 0.0;

@@ -38,8 +38,9 @@ using namespace dlpsim;
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--socket PATH] (--app A --config C [...] | --replay N "
-               "[...] | --metrics [KIND] | --shutdown | --ping)\n";
+            << " [--socket PATH] (--app A --config C [...] | --trace FILE "
+               "--config C | --replay N [...] | --metrics [KIND] | "
+               "--shutdown | --ping)\n";
   return 2;
 }
 
@@ -71,6 +72,12 @@ int main(int argc, char** argv) {
       req.app = next("--app");
     } else if (a == "--config") {
       req.config = next("--config");
+    } else if (a == "--trace") {
+      // Replay a recorded trace (text or packed) through the requested
+      // config's L1D instead of simulating an app; the server caches by
+      // the trace's content ref, so both formats share one entry.
+      req.trace = next("--trace");
+      req.app = "trace";
     } else if (a == "--scale") {
       req.scale = std::atof(next("--scale"));
     } else if (a == "--deadline-ms") {

@@ -37,15 +37,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/trace_replay.h"
 #include "harness.h"
+#include "robust/error.h"
 #include "serve/content_cache.h"
 #include "serve/server.h"
 #include "serve/worker.h"
 #include "sim/config.h"
 #include "sim/env.h"
+#include "trace/hash.h"
+#include "trace/source.h"
 
 namespace {
 
@@ -70,9 +75,47 @@ std::string SelfExe(const char* argv0) {
   return argv0;
 }
 
+/// Trace-replay requests (req.trace non-empty): pull the recorded trace
+/// -- text or DLPT packed, sniffed from the file -- through the
+/// cache-level TraceReplayer under req.config's L1D. The result text is
+/// integer counters only (no float formatting), so it is byte-identical
+/// for a given trace content regardless of the on-disk format.
+serve::WorkerResult TraceReplayRunner(const serve::ExperimentRequest& req) {
+  TraceParseError perr;
+  auto src = trace::OpenTraceFile(req.trace, &perr);
+  if (src == nullptr) {
+    throw robust::RunErrorException(robust::RunError::kRunFailed,
+                                    req.trace + ": " + perr.ToString());
+  }
+  TraceReplayer replayer(bench::ConfigFor(req.config).l1d);
+  const ReplayResult r = replayer.Replay(*src);
+  if (!src->ok()) {
+    // A malformed tail is a typed failure, never a silent prefix replay.
+    throw robust::RunErrorException(robust::RunError::kRunFailed,
+                                    req.trace + ": " + src->error().ToString());
+  }
+  std::ostringstream os;
+  os << "accesses " << r.accesses << '\n'
+     << "cycles " << r.cycles << '\n'
+     << "stall_cycles " << r.stall_cycles << '\n'
+     << "loads " << r.cache.loads << '\n'
+     << "load_hits " << r.cache.load_hits << '\n'
+     << "load_misses " << r.cache.load_misses << '\n'
+     << "stores " << r.cache.stores << '\n'
+     << "bypasses " << r.cache.bypasses << '\n'
+     << "evictions " << r.cache.evictions << '\n'
+     << "writebacks " << r.cache.writebacks << '\n'
+     << "---\n"
+     << "trace replay config " << req.config << '\n';
+  serve::WorkerResult out;
+  out.result = os.str();
+  return out;
+}
+
 /// Real runner: one simulation per request, resilience hooks passed
 /// explicitly so worker state never leaks across requests.
 serve::WorkerResult BenchRunner(const serve::ExperimentRequest& req) {
+  if (!req.trace.empty()) return TraceReplayRunner(req);
   bench::RunOverrides ov;
   ov.fault_spec = req.faults;
   ov.watchdog_cycles = req.watchdog_cycles;
@@ -90,7 +133,11 @@ serve::WorkerResult BenchRunner(const serve::ExperimentRequest& req) {
 /// x workload trace ref x binary version. Requests with resilience
 /// hooks are never cached -- faulty results must not be served to clean
 /// requests, mirroring the DLPSIM_FAULTS/DLPSIM_NOCACHE coupling of the
-/// bench harness.
+/// bench harness. Trace-replay requests key on the trace file's *content
+/// hash* over canonical packed bytes (trace/hash.h), not its path or
+/// on-disk format: a text trace and its packed copy coalesce onto one
+/// cache entry, and rewriting a file with different bytes for the same
+/// records never invalidates its results.
 std::string BenchKeyFn(const serve::ExperimentRequest& req) {
   if (!req.faults.empty() || !req.chaos.empty() || req.watchdog_cycles != 0) {
     return "";
@@ -100,6 +147,14 @@ std::string BenchKeyFn(const serve::ExperimentRequest& req) {
     config_text = CanonicalText(bench::ConfigFor(req.config));
   } catch (const std::exception&) {
     return "";  // unknown config: let the worker produce the typed error
+  }
+  if (!req.trace.empty()) {
+    TraceParseError perr;
+    const std::string ref = trace::TraceFileRef(req.trace, &perr);
+    // Unreadable/corrupt trace: uncached; the worker reports the typed
+    // parse error and a later fixed file is not shadowed by a bad entry.
+    if (ref.empty()) return "";
+    return serve::ContentKey(config_text, ref);
   }
   return serve::ContentKey(config_text,
                            serve::WorkloadTraceRef(req.app, req.scale));

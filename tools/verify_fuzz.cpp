@@ -4,10 +4,13 @@
 //   --traces N        differential fuzz: N seeded random traces per
 //                     selected policy against the verify/ oracle
 //   --parser-fuzz N   N seeded malformed inputs through both trace parsers
+//   --packed-fuzz N   N seeded corrupted DLPT packed streams through
+//                     PackedTraceSource (typed-error contract)
 //   --neutrality N    N metamorphic Baseline-vs-neutralized-DLP runs
 //   --determinism N   N seeds fuzzed serially and on --jobs workers,
 //                     outcomes compared
-//   --replay FILE     re-run a saved reproducer artifact and report
+//   --replay FILE     re-run a saved reproducer artifact (text or packed;
+//                     the format is sniffed) and report
 //
 // Options:
 //   --policy base|sb|gp|dlp|all   policies to fuzz (default all)
@@ -16,6 +19,8 @@
 //                                 hardware concurrency)
 //   --out DIR                     where reproducer artifacts are written
 //                                 (default .)
+//   --artifact-format packed|text reproducer format (default: the
+//                                 DLPSIM_TRACE_ARTIFACTS knob, else packed)
 //   --no-shrink                   keep full traces in artifacts
 //   --bug NAME                    plant a deliberate oracle bug
 //                                 (self-test): pd-decrease-off-by-one,
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "exec/run_grid.h"
+#include "sim/env.h"
 #include "verify/artifact.h"
 #include "verify/differential.h"
 #include "verify/fuzzer.h"
@@ -44,6 +50,7 @@ using namespace dlpsim::verify;
 struct Options {
   std::uint64_t traces = 0;
   std::uint64_t parser_fuzz = 0;
+  std::uint64_t packed_fuzz = 0;
   std::uint64_t neutrality = 0;
   std::uint64_t determinism = 0;
   std::string replay;
@@ -51,15 +58,19 @@ struct Options {
   std::uint64_t seed = 1;
   std::size_t jobs = 0;  // 0 = DefaultJobs()
   std::string out_dir = ".";
+  // Reproducer format: "packed" (default) keeps large pre-shrink traces
+  // small on disk; "text" writes the historical commented trace files.
+  std::string artifact_format = env::Str("DLPSIM_TRACE_ARTIFACTS", "packed");
   bool shrink = true;
   OracleBug bug = OracleBug::kNone;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--traces N] [--parser-fuzz N] [--neutrality N]\n"
-               "          [--determinism N] [--replay FILE] [--policy P]\n"
-               "          [--seed S] [--jobs N] [--out DIR] [--no-shrink]\n"
+               "usage: %s [--traces N] [--parser-fuzz N] [--packed-fuzz N]\n"
+               "          [--neutrality N] [--determinism N] [--replay FILE]\n"
+               "          [--policy P] [--seed S] [--jobs N] [--out DIR]\n"
+               "          [--artifact-format packed|text] [--no-shrink]\n"
                "          [--bug NAME]\n",
                argv0);
   return 2;
@@ -119,11 +130,16 @@ std::uint64_t FuzzPolicy(const Options& opt, PolicyKind policy,
   for (const FuzzOutcome& o : outcomes) {
     if (!o.diverged) continue;
     ++diverged;
+    const bool packed = opt.artifact_format != "text";
     const std::string path = opt.out_dir + "/verify_fuzz_" +
                              PolicyFlag(policy) + "_seed" +
-                             std::to_string(o.seed) + ".trace";
+                             std::to_string(o.seed) +
+                             (packed ? ".dlpt" : ".trace");
     std::string error;
-    if (WriteArtifactFile(path, o.reproducer, &error)) {
+    const bool wrote =
+        packed ? WriteArtifactPackedFile(path, o.reproducer, &error)
+               : WriteArtifactFile(path, o.reproducer, &error);
+    if (wrote) {
       std::fprintf(stderr,
                    "[verify_fuzz] %s seed %llu DIVERGED: %s\n"
                    "              reproducer (%zu accesses, %zu shrink "
@@ -150,7 +166,7 @@ std::uint64_t FuzzPolicy(const Options& opt, PolicyKind policy,
 int Replay(const Options& opt) {
   Artifact artifact;
   std::string error;
-  if (!ReadArtifactFile(opt.replay, &artifact, &error)) {
+  if (!ReadArtifactAuto(opt.replay, &artifact, &error)) {
     std::fprintf(stderr, "[verify_fuzz] cannot replay '%s': %s\n",
                  opt.replay.c_str(), error.c_str());
     return 2;
@@ -189,6 +205,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--parser-fuzz" && (value = next())) {
       opt.parser_fuzz = std::strtoull(value, nullptr, 10);
       any_mode = true;
+    } else if (arg == "--packed-fuzz" && (value = next())) {
+      opt.packed_fuzz = std::strtoull(value, nullptr, 10);
+      any_mode = true;
     } else if (arg == "--neutrality" && (value = next())) {
       opt.neutrality = std::strtoull(value, nullptr, 10);
       any_mode = true;
@@ -206,6 +225,11 @@ int main(int argc, char** argv) {
       opt.jobs = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
     } else if (arg == "--out" && (value = next())) {
       opt.out_dir = value;
+    } else if (arg == "--artifact-format" && (value = next())) {
+      opt.artifact_format = value;
+      if (opt.artifact_format != "packed" && opt.artifact_format != "text") {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--no-shrink") {
       opt.shrink = false;
     } else if (arg == "--bug" && (value = next())) {
@@ -218,6 +242,7 @@ int main(int argc, char** argv) {
     // Bare invocation: a useful default for local runs.
     opt.traces = 100;
     opt.parser_fuzz = 200;
+    opt.packed_fuzz = 200;
     opt.neutrality = 20;
   }
 
@@ -245,6 +270,20 @@ int main(int argc, char** argv) {
     } else {
       std::printf("[verify_fuzz] parser fuzz: %llu inputs, no violations\n",
                   static_cast<unsigned long long>(opt.parser_fuzz));
+    }
+  }
+
+  if (opt.packed_fuzz > 0) {
+    const std::string violation =
+        FuzzPackedTraces(opt.seed, static_cast<std::size_t>(opt.packed_fuzz));
+    if (!violation.empty()) {
+      std::fprintf(stderr, "[verify_fuzz] packed fuzz VIOLATION: %s\n",
+                   violation.c_str());
+      ++failures;
+    } else {
+      std::printf("[verify_fuzz] packed fuzz: %llu corrupted streams, all "
+                  "typed errors\n",
+                  static_cast<unsigned long long>(opt.packed_fuzz));
     }
   }
 
